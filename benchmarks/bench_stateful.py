@@ -1,0 +1,100 @@
+"""Throughput of the stateful firewall model ([11], extension).
+
+Not a paper figure: measures packets/second of
+:class:`repro.stateful.StatefulFirewall` on a synthetic flow trace with
+an interleaved port scan, plus the state-table cost in isolation.  The
+stateless section is evaluated per packet via first-match over the
+rule list; a production engine would evaluate the FDD instead — both
+paths are reported so the gap is visible.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import bench_rounds
+
+from repro.bench import banner, render_table
+from repro.fdd.fast import construct_fdd_fast
+from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+from repro.stateful import (
+    STATE_ESTABLISHED,
+    ConnectionTable,
+    FlowKey,
+    StatefulFirewall,
+    stateful_schema,
+)
+from repro.synth import FlowTraceGenerator
+
+
+def _gateway() -> StatefulFirewall:
+    schema = stateful_schema()
+    policy = Firewall(
+        schema,
+        [
+            Rule.build(schema, ACCEPT, state=STATE_ESTABLISHED),
+            Rule.build(schema, ACCEPT, src_ip="10.0.0.0/8"),
+            Rule.build(schema, DISCARD),
+        ],
+    )
+    return StatefulFirewall(
+        policy, tracking=[Predicate.from_fields(schema, src_ip="10.0.0.0/8")]
+    )
+
+
+def test_bench_stateful_throughput(benchmark, report_saver):
+    fw = _gateway()
+    trace = list(FlowTraceGenerator(seed=7).with_scanner(300))
+
+    start = time.perf_counter()
+    for timed in trace:
+        fw.process(timed.packet, timed.time)
+    stateful_s = time.perf_counter() - start
+
+    # Stateless section alone, rule-list evaluation vs FDD evaluation.
+    stateless = fw.stateless
+    annotated = [(0,) + tuple(t.packet) for t in trace]
+    start = time.perf_counter()
+    for packet in annotated:
+        stateless.evaluate(packet)
+    rules_s = time.perf_counter() - start
+    fdd = construct_fdd_fast(stateless)
+    start = time.perf_counter()
+    for packet in annotated:
+        fdd.evaluate(packet)
+    fdd_s = time.perf_counter() - start
+
+    # State table in isolation.
+    table = ConnectionTable()
+    keys = [FlowKey.of_packet(t.packet) for t in trace]
+    start = time.perf_counter()
+    for i, key in enumerate(keys):
+        table.insert(key, float(i))
+        table.lookup(key.reversed(), float(i))
+    table_s = time.perf_counter() - start
+
+    n = len(trace)
+    report = "\n".join(
+        [
+            banner(
+                "Stateful firewall throughput (extension; model of [11])",
+                f"trace: {n} packets (flows + interleaved scan), seed=7",
+            ),
+            render_table(
+                ["path", "packets/s"],
+                [
+                    ("stateful process()", n / stateful_s),
+                    ("stateless rules only", n / rules_s),
+                    ("stateless FDD only", n / fdd_s),
+                    ("state table only", n / table_s),
+                ],
+            ),
+        ]
+    )
+    report_saver("aux_stateful_throughput", report)
+
+    benchmark.pedantic(
+        lambda: [fw.process(t.packet, t.time) for t in trace[:100]],
+        rounds=bench_rounds(3),
+        iterations=1,
+    )

@@ -1,0 +1,63 @@
+"""Theorem 1 and Section 7.4 — FDD sizes vs the worst-case bound.
+
+Theorem 1 bounds the constructed FDD's decision paths by ``(2n - 1)^d``
+for ``n`` simple rules over ``d`` fields; Section 7.4 argues the worst
+case "is extremely unlikely to happen in practice".  This benchmark
+measures actual path counts of constructed FDDs for real-life-shaped
+synthetic firewalls and reports the ratio to the bound.
+
+Expected shape: measured paths many orders of magnitude under the bound,
+growing roughly linearly (not exponentially) with rule count.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_rounds
+
+from repro.bench import banner, bench_scale, render_table
+from repro.fdd.fast import construct_fdd_fast
+from repro.synth import SyntheticFirewallGenerator
+
+
+def test_bench_theorem1_bound(benchmark, report_saver):
+    sizes = (10, 30, 100, 300, 1000) if bench_scale() == "paper" else (10, 30)
+    rows = []
+    for size in sizes:
+        generator = SyntheticFirewallGenerator(seed=size)
+        firewall = generator.generate(size)
+        # Theorem 1 is stated for *simple* rules; count them.
+        simple_rules = sum(
+            1 for rule in firewall for _ in rule.predicate.split_simple()
+        )
+        fdd = construct_fdd_fast(firewall)
+        paths = fdd.count_paths()
+        bound = (2 * simple_rules - 1) ** len(firewall.schema)
+        rows.append(
+            (
+                size,
+                simple_rules,
+                paths,
+                f"{bound:.2e}",
+                f"{paths / bound:.2e}",
+            )
+        )
+    report = "\n".join(
+        [
+            banner(
+                "Theorem 1: constructed-FDD paths vs the (2n-1)^d bound",
+                "d = 5 fields; n = simple-rule count after splitting interval sets",
+            ),
+            render_table(
+                ["rules", "simple rules (n)", "FDD paths", "(2n-1)^d", "ratio"],
+                rows,
+            ),
+        ]
+    )
+    report_saver("theorem1_bound", report)
+    generator = SyntheticFirewallGenerator(seed=100)
+    firewall = generator.generate(100)
+    benchmark.pedantic(
+        lambda: construct_fdd_fast(firewall),
+        rounds=bench_rounds(3),
+        iterations=1,
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures and saves
+its rows under ``benchmarks/results/``; the terminal-summary hook then
+replays all reports at the end of the run so `pytest benchmarks/
+--benchmark-only` prints the paper-style series without needing ``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SESSION_REPORTS: list[tuple[str, str]] = []
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist one experiment report and queue it for terminal replay."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    _SESSION_REPORTS.append((name, text))
+    return path
+
+
+@pytest.fixture(scope="session")
+def report_saver():
+    """Fixture handing benchmarks the :func:`save_report` helper."""
+    return save_report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _SESSION_REPORTS:
+        return
+    terminalreporter.section("paper experiment reports (also in benchmarks/results/)")
+    for name, text in _SESSION_REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+
+
+def bench_rounds(default: int = 3) -> int:
+    """Rounds for pytest-benchmark pedantic runs (1 in quick mode)."""
+    return 1 if os.environ.get("REPRO_BENCH_SCALE", "paper") == "quick" else default

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Diverse design with N > 2 teams (Section 7.3).
+
+Three teams design a border policy for the same specification:
+
+    Engineering (10.0.0.0/24) may ssh (22/tcp) and https (443/tcp) to
+    the server 192.0.2.10.  The scanner subnet 198.51.100.0/24 must be
+    blocked.  Everything else to the server is blocked; traffic not
+    addressed to the server is allowed.
+
+The script runs both comparison strategies from Section 7.3 — *cross
+comparison* (every pair) and *direct comparison* (all N at once) — then
+resolves by majority vote and generates the agreed firewall.
+
+Run:  python examples/multi_team.py
+"""
+
+from repro import ACCEPT, DISCARD, compare_firewalls, equivalent
+from repro.analysis import DiverseDesignSession, resolve_by_corrected_fdd, resolve_with
+from repro.fields import standard_schema
+from repro.policy import Firewall, Rule, to_table
+
+SCHEMA = standard_schema()
+SERVER = "192.0.2.10"
+ENG = "10.0.0.0/24"
+SCANNER = "198.51.100.0/24"
+
+
+def team_one() -> Firewall:
+    """Gets the spec right, but forgets the scanner can also be inside ENG's
+    address space... actually blocks scanners first (correct)."""
+    return Firewall(SCHEMA, [
+        Rule.build(SCHEMA, DISCARD, "scanners", src_ip=SCANNER),
+        Rule.build(SCHEMA, ACCEPT, "eng ssh", src_ip=ENG, dst_ip=SERVER, dst_port=22, protocol="tcp"),
+        Rule.build(SCHEMA, ACCEPT, "eng https", src_ip=ENG, dst_ip=SERVER, dst_port=443, protocol="tcp"),
+        Rule.build(SCHEMA, DISCARD, "server default-deny", dst_ip=SERVER),
+        Rule.build(SCHEMA, ACCEPT, "default"),
+    ], name="team-1")
+
+
+def team_two() -> Firewall:
+    """Puts the eng-access rules first: scanner packets claiming eng
+    source ports still get blocked, but the team forgot https."""
+    return Firewall(SCHEMA, [
+        Rule.build(SCHEMA, ACCEPT, "eng ssh", src_ip=ENG, dst_ip=SERVER, dst_port=22, protocol="tcp"),
+        Rule.build(SCHEMA, DISCARD, "scanners", src_ip=SCANNER),
+        Rule.build(SCHEMA, DISCARD, "server default-deny", dst_ip=SERVER),
+        Rule.build(SCHEMA, ACCEPT, "default"),
+    ], name="team-2")
+
+
+def team_three() -> Firewall:
+    """Allows ssh/https from eng but forgot to restrict the protocol and
+    didn't block scanners for non-server destinations."""
+    return Firewall(SCHEMA, [
+        Rule.build(SCHEMA, ACCEPT, "eng ssh+https", src_ip=ENG, dst_ip=SERVER,
+                   dst_port="22|443"),
+        Rule.build(SCHEMA, DISCARD, "scanners to server", src_ip=SCANNER, dst_ip=SERVER),
+        Rule.build(SCHEMA, DISCARD, "server default-deny", dst_ip=SERVER),
+        Rule.build(SCHEMA, ACCEPT, "default"),
+    ], name="team-3")
+
+
+def main() -> None:
+    teams = [team_one(), team_two(), team_three()]
+    for fw in teams:
+        print(to_table(fw))
+        print()
+
+    session = DiverseDesignSession(teams)
+
+    # --- cross comparison: every pair ---------------------------------
+    print("cross comparison (pairwise discrepancy region counts):")
+    for (i, j), discs in session.all_pairwise().items():
+        from repro.analysis import aggregate_discrepancies
+
+        merged = aggregate_discrepancies(discs)
+        print(f"  {teams[i].name} vs {teams[j].name}: {len(merged)} region(s)")
+    print()
+
+    # --- direct comparison: all three at once --------------------------
+    regions = session.multi_discrepancies()
+    print(f"direct 3-way comparison: {len(regions)} region(s) lack unanimity:")
+    for region in regions[:8]:
+        print(f"  {region.describe(SCHEMA)}")
+    if len(regions) > 8:
+        print(f"  ... and {len(regions) - 8} more")
+    print()
+
+    # --- resolution: majority vote over the three versions -------------
+    # Resolve team-1-vs-team-2 discrepancies by asking all three teams.
+    def majority(disc):
+        votes = {}
+        witness = tuple(values.min() for values in disc.sets)
+        for fw in teams:
+            decision = fw(witness)
+            votes[decision] = votes.get(decision, 0) + 1
+        return max(votes, key=votes.get)
+
+    raw = compare_firewalls(teams[0], teams[1])
+    final = resolve_by_corrected_fdd(teams[0], teams[1], resolve_with(raw, majority))
+    print(to_table(final, title="final firewall (majority vote, compact form)"))
+    print()
+    survivors = [fw.name for fw in teams if equivalent(final, fw)]
+    if survivors:
+        print(f"note: the vote reproduced {survivors[0]}'s semantics exactly")
+
+
+if __name__ == "__main__":
+    main()

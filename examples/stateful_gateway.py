@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A stateful NAT-less gateway: outbound free, inbound only replies.
+
+Demonstrates the stateful firewall model ([11], see
+``repro.stateful``): the policy is an ordinary rule sequence over the
+packet fields plus a synthetic ``state`` field, so the paper's
+comparison machinery applies to stateful policies too — which this
+script shows by diffing a strict and a loose variant of the gateway.
+
+Run:  python examples/stateful_gateway.py
+"""
+
+from repro import compare_firewalls, format_discrepancy_table, aggregate_discrepancies
+from repro.addr import ip_to_int
+from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+from repro.stateful import (
+    STATE_ESTABLISHED,
+    ConnectionTable,
+    StatefulFirewall,
+    stateful_schema,
+)
+
+SCHEMA = stateful_schema()
+LAN = "10.0.0.0/8"
+
+
+def gateway(*, tcp_only: bool) -> StatefulFirewall:
+    rules = [
+        Rule.build(SCHEMA, ACCEPT, "replies of tracked flows", state=STATE_ESTABLISHED),
+    ]
+    if tcp_only:
+        rules.append(
+            Rule.build(SCHEMA, ACCEPT, "outbound tcp", src_ip=LAN, protocol="tcp")
+        )
+    else:
+        rules.append(Rule.build(SCHEMA, ACCEPT, "outbound anything", src_ip=LAN))
+    rules.append(Rule.build(SCHEMA, DISCARD, "default deny"))
+    policy = Firewall(SCHEMA, rules, name="tcp-only" if tcp_only else "permissive")
+    tracking = [Predicate.from_fields(SCHEMA, src_ip=LAN)]
+    return StatefulFirewall(policy, tracking=tracking, table=ConnectionTable(ttl=120))
+
+
+def main() -> None:
+    fw = gateway(tcp_only=False)
+    inside = ip_to_int("10.0.0.5")
+    server = ip_to_int("198.51.100.10")
+    attacker = ip_to_int("203.0.113.66")
+
+    print("packet stream through the permissive gateway:")
+    stream = [
+        (0.0, (inside, server, 40001, 443, 6), "outbound https request"),
+        (0.1, (server, inside, 443, 40001, 6), "https reply (tracked)"),
+        (0.2, (attacker, inside, 443, 40001, 6), "spoofed 'reply' from elsewhere"),
+        (0.3, (attacker, inside, 12345, 22, 6), "unsolicited inbound ssh"),
+        (200.0, (server, inside, 443, 40001, 6), "late reply after TTL"),
+    ]
+    for now, packet, label in stream:
+        decision = fw.process(packet, now)
+        print(f"  t={now:6.1f}  {label:36s} -> {decision}")
+    print(f"  tracked flows now: {len(fw.table)}")
+    print()
+
+    # The stateless sections are ordinary firewalls over state+5 fields,
+    # so diverse design / change impact work on stateful policies as-is.
+    strict = gateway(tcp_only=True)
+    loose = gateway(tcp_only=False)
+    discs = aggregate_discrepancies(
+        compare_firewalls(strict.stateless_view(), loose.stateless_view())
+    )
+    print("comparing the strict (tcp-only) and permissive variants:")
+    print(
+        format_discrepancy_table(
+            discs, name_a=strict.stateless.name, name_b=loose.stateless.name
+        )
+    )
+    print()
+    print("every disputed region has state=0 — the variants treat tracked")
+    print("return traffic identically and differ only on NEW outbound flows.")
+
+
+if __name__ == "__main__":
+    main()

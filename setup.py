@@ -1,0 +1,16 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments.  Two offline
+gotchas this layout works around:
+
+* no [build-system] table in pyproject.toml, so pip does not try to
+  download setuptools into an isolated build environment;
+* if pip still attempts build isolation on your setup, disable it
+  (``pip install -e . --no-build-isolation``); the ``wheel`` package
+  must be importable for setuptools' bdist_wheel.
+"""
+
+from setuptools import setup
+
+setup()

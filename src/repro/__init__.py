@@ -1,0 +1,108 @@
+"""repro — a reproduction of *Diverse Firewall Design* (Liu & Gouda,
+DSN 2004 / IEEE TPDS 2008).
+
+The library implements the paper's complete system:
+
+* the firewall policy model (ordered first-match rules over integer
+  interval fields) — :mod:`repro.policy`;
+* Firewall Decision Diagrams and the three discrepancy-discovery
+  algorithms: construction, shaping, comparison — :mod:`repro.fdd`;
+* the diverse-design workflow, discrepancy resolution (both of
+  Section 6's methods), and change impact analysis —
+  :mod:`repro.analysis`;
+* substrates: interval algebra (:mod:`repro.intervals`), CIDR/port/
+  protocol formats (:mod:`repro.addr`), a BDD baseline
+  (:mod:`repro.bdd`), and synthetic workload generation
+  (:mod:`repro.synth`).
+
+Quickstart::
+
+    from repro import compare_firewalls, aggregate_discrepancies
+    from repro.synth import team_a_firewall, team_b_firewall
+
+    discrepancies = compare_firewalls(team_a_firewall(), team_b_firewall())
+    for disc in aggregate_discrepancies(discrepancies):
+        print(disc.describe())
+"""
+
+from repro.analysis import (
+    ChangeImpactReport,
+    Discrepancy,
+    DiverseDesignSession,
+    aggregate_discrepancies,
+    analyze_change,
+    equivalent,
+    format_discrepancy_table,
+    prefer_team,
+    resolve_by_corrected_fdd,
+    resolve_by_patching,
+    resolve_with,
+)
+from repro.exceptions import ReproError
+from repro.fdd import (
+    FDD,
+    compare_direct,
+    compare_fdds,
+    compare_firewalls,
+    construct_fdd,
+    generate_firewall,
+    make_semi_isomorphic,
+)
+from repro.fields import (
+    FieldSchema,
+    Packet,
+    interface_schema,
+    standard_schema,
+    toy_schema,
+)
+from repro.intervals import Interval, IntervalSet
+from repro.policy import (
+    ACCEPT,
+    ACCEPT_LOG,
+    DISCARD,
+    DISCARD_LOG,
+    Decision,
+    Firewall,
+    Predicate,
+    Rule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACCEPT",
+    "ACCEPT_LOG",
+    "ChangeImpactReport",
+    "DISCARD",
+    "DISCARD_LOG",
+    "Decision",
+    "Discrepancy",
+    "DiverseDesignSession",
+    "FDD",
+    "FieldSchema",
+    "Firewall",
+    "Interval",
+    "IntervalSet",
+    "Packet",
+    "Predicate",
+    "ReproError",
+    "Rule",
+    "__version__",
+    "aggregate_discrepancies",
+    "analyze_change",
+    "compare_direct",
+    "compare_fdds",
+    "compare_firewalls",
+    "construct_fdd",
+    "equivalent",
+    "format_discrepancy_table",
+    "generate_firewall",
+    "interface_schema",
+    "make_semi_isomorphic",
+    "prefer_team",
+    "resolve_by_corrected_fdd",
+    "resolve_by_patching",
+    "resolve_with",
+    "standard_schema",
+    "toy_schema",
+]

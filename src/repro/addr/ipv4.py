@@ -1,0 +1,71 @@
+"""IPv4 address parsing and formatting.
+
+Section 7.1 of the paper: source/destination IP addresses enter the system
+in prefix (CIDR) format, are converted to integer intervals for the three
+algorithms, and are converted back to prefixes for human-readable output.
+This module handles the scalar half of that story: dotted-quad text to and
+from 32-bit integers.  Prefix/interval conversion lives in
+:mod:`repro.addr.prefix`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import AddressError
+
+__all__ = [
+    "IPV4_BITS",
+    "IPV4_MAX",
+    "ip_to_int",
+    "int_to_ip",
+    "is_valid_ip",
+]
+
+#: Width of an IPv4 address in bits.
+IPV4_BITS = 32
+
+#: Largest 32-bit address value (255.255.255.255).
+IPV4_MAX = (1 << IPV4_BITS) - 1
+
+
+def ip_to_int(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into a 32-bit integer.
+
+    >>> ip_to_int("192.168.0.1")
+    3232235521
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise AddressError(f"invalid IPv4 address {text!r}: expected 4 octets")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"invalid IPv4 address {text!r}: bad octet {part!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"invalid IPv4 address {text!r}: octet {octet} > 255")
+        if len(part) > 1 and part[0] == "0":
+            raise AddressError(
+                f"invalid IPv4 address {text!r}: octet {part!r} has a leading zero"
+            )
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad IPv4 address.
+
+    >>> int_to_ip(3232235521)
+    '192.168.0.1'
+    """
+    if not 0 <= value <= IPV4_MAX:
+        raise AddressError(f"IPv4 integer {value} out of range [0, {IPV4_MAX}]")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def is_valid_ip(text: str) -> bool:
+    """Return ``True`` if ``text`` parses as a dotted-quad IPv4 address."""
+    try:
+        ip_to_int(text)
+    except AddressError:
+        return False
+    return True

@@ -1,0 +1,84 @@
+"""Applications of the comparison pipeline.
+
+The paper's headline workflows — diverse design (Sections 2/6/7.3) and
+change impact analysis (Section 1.3) — plus the supporting analyses:
+discrepancy records and aggregation, resolution Methods 1 and 2, semantic
+equivalence, redundancy removal [19], firewall queries [20], and rule
+anomaly detection in the style of [1].
+"""
+
+from repro.analysis.aggregate import aggregate_discrepancies
+from repro.analysis.anomaly import Anomaly, find_anomalies
+from repro.analysis.discrepancy import Discrepancy, format_discrepancy_table
+from repro.analysis.diverse_design import (
+    DiverseDesignSession,
+    MultiDiscrepancy,
+    compare_many,
+    cross_compare,
+    make_all_semi_isomorphic,
+)
+from repro.analysis.equivalence import disputed_packet_count, equivalent
+from repro.analysis.impact import ChangeImpactReport, ImpactKind, analyze_change
+from repro.analysis.query_language import ParsedQuery, QuerySession, parse_query, run_query
+from repro.analysis.coverage import CoverageReport, RuleCoverage, coverage_report, measure_coverage
+from repro.analysis.queries import QueryResult, any_packet, decisions_in_region, query
+from repro.analysis.report import audit_change, audit_policy
+from repro.analysis.slicing import relevant_rules, slice_firewall
+from repro.analysis.redundancy import (
+    find_redundant_rules,
+    find_upward_redundant,
+    remove_redundant_rules,
+)
+from repro.analysis.resolution import (
+    ResolvedDiscrepancy,
+    aggregate_resolutions,
+    corrected_fdd,
+    prefer_team,
+    resolve_by_corrected_fdd,
+    resolve_by_patching,
+    resolve_with,
+)
+
+__all__ = [
+    "Anomaly",
+    "ChangeImpactReport",
+    "CoverageReport",
+    "Discrepancy",
+    "DiverseDesignSession",
+    "ImpactKind",
+    "MultiDiscrepancy",
+    "ParsedQuery",
+    "QueryResult",
+    "QuerySession",
+    "ResolvedDiscrepancy",
+    "RuleCoverage",
+    "aggregate_discrepancies",
+    "aggregate_resolutions",
+    "analyze_change",
+    "audit_change",
+    "audit_policy",
+    "any_packet",
+    "compare_many",
+    "corrected_fdd",
+    "coverage_report",
+    "cross_compare",
+    "decisions_in_region",
+    "disputed_packet_count",
+    "equivalent",
+    "find_anomalies",
+    "find_redundant_rules",
+    "find_upward_redundant",
+    "format_discrepancy_table",
+    "make_all_semi_isomorphic",
+    "measure_coverage",
+    "parse_query",
+    "prefer_team",
+    "query",
+    "relevant_rules",
+    "remove_redundant_rules",
+    "resolve_by_corrected_fdd",
+    "resolve_by_patching",
+    "resolve_with",
+    "run_query",
+    "slice_firewall",
+]

@@ -1,0 +1,127 @@
+"""Rule coverage analysis: which rules actually decide traffic?
+
+Complements the *semantic* redundancy analysis ([19]) with an
+*operational* view: given a packet trace (live capture or synthetic,
+e.g. :mod:`repro.synth.traces`), count first-match hits per rule.  Rules
+that are semantically reachable but never hit in practice are candidates
+for review; rules hit despite sitting below broad siblings indicate
+ordering smells.
+
+Both views are combined in :func:`coverage_report`: per rule, the hit
+count, hit share, and whether the rule is *semantically* dead (upward
+redundant — no packet can ever reach it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.redundancy import find_upward_redundant
+from repro.policy.firewall import Firewall
+
+__all__ = ["RuleCoverage", "CoverageReport", "measure_coverage", "coverage_report"]
+
+
+@dataclass(frozen=True)
+class RuleCoverage:
+    """Coverage facts for one rule."""
+
+    index: int
+    hits: int
+    share: float
+    #: True when no packet can ever reach the rule (upward redundant).
+    semantically_dead: bool
+    comment: str
+
+    def describe(self) -> str:
+        flags = " [DEAD]" if self.semantically_dead else ""
+        label = f" ({self.comment})" if self.comment else ""
+        return f"r{self.index + 1}{label}: {self.hits} hits ({self.share:.1%}){flags}"
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Coverage of a whole policy over a trace."""
+
+    firewall: Firewall
+    total_packets: int
+    rules: tuple[RuleCoverage, ...]
+
+    def unused_rules(self) -> list[RuleCoverage]:
+        """Rules with zero hits in the trace (excluding the catch-all)."""
+        out = []
+        for coverage in self.rules:
+            is_catchall = (
+                coverage.index == len(self.firewall) - 1
+                and self.firewall[coverage.index].predicate.is_match_all()
+            )
+            if coverage.hits == 0 and not is_catchall:
+                out.append(coverage)
+        return out
+
+    def dead_rules(self) -> list[RuleCoverage]:
+        """Rules no packet can ever reach (semantic, trace-independent)."""
+        return [c for c in self.rules if c.semantically_dead]
+
+    def render(self) -> str:
+        lines = [
+            f"coverage of {self.firewall.name or 'policy'!r} over"
+            f" {self.total_packets} packets:"
+        ]
+        for coverage in self.rules:
+            lines.append(f"  {coverage.describe()}")
+        unused = self.unused_rules()
+        if unused:
+            lines.append(
+                f"  -> {len(unused)} rule(s) unused by this trace;"
+                " review or gather more traffic"
+            )
+        dead = self.dead_rules()
+        if dead:
+            lines.append(
+                f"  -> {len(dead)} rule(s) are semantically unreachable;"
+                " remove them (see repro.analysis.redundancy)"
+            )
+        return "\n".join(lines)
+
+
+def measure_coverage(
+    firewall: Firewall, packets: Iterable[Sequence[int]]
+) -> list[int]:
+    """First-match hit counts per rule index."""
+    hits = [0] * len(firewall)
+    for packet in packets:
+        hits[firewall.first_match_index(packet)] += 1
+    return hits
+
+
+def coverage_report(
+    firewall: Firewall, packets: Iterable[Sequence[int]]
+) -> CoverageReport:
+    """Full coverage report over a packet trace.
+
+    >>> from repro.fields import toy_schema
+    >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
+    >>> schema = toy_schema(9)
+    >>> fw = Firewall(schema, [Rule.build(schema, ACCEPT, F1="0-4"),
+    ...                        Rule.build(schema, DISCARD)])
+    >>> report = coverage_report(fw, [(1,), (2,), (7,)])
+    >>> [c.hits for c in report.rules]
+    [2, 1]
+    """
+    packets = list(packets)
+    hits = measure_coverage(firewall, packets)
+    total = len(packets)
+    dead = set(find_upward_redundant(firewall))
+    rules = tuple(
+        RuleCoverage(
+            index=index,
+            hits=count,
+            share=(count / total) if total else 0.0,
+            semantically_dead=index in dead,
+            comment=firewall[index].comment,
+        )
+        for index, count in enumerate(hits)
+    )
+    return CoverageReport(firewall=firewall, total_packets=total, rules=rules)

@@ -1,0 +1,39 @@
+"""Semantic equivalence of firewalls.
+
+Two firewalls are equivalent iff they define the same mapping from packets
+to decisions (Section 3.1, ``f1 == f2``).  Equivalence reduces to the
+comparison pipeline returning no discrepancies — the completeness of the
+three algorithms makes this an exact decision procedure, not a sampler.
+"""
+
+from __future__ import annotations
+
+from repro.fdd.comparison import compare_firewalls
+from repro.policy.firewall import Firewall
+
+__all__ = ["equivalent", "disputed_packet_count"]
+
+
+def equivalent(fw_a: Firewall, fw_b: Firewall) -> bool:
+    """True iff the two firewalls decide every packet identically.
+
+    >>> from repro.fields import toy_schema
+    >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
+    >>> schema = toy_schema(9)
+    >>> fw1 = Firewall(schema, [Rule.build(schema, ACCEPT, F1=(0, 3)),
+    ...                         Rule.build(schema, DISCARD)])
+    >>> fw2 = Firewall(schema, [Rule.build(schema, DISCARD, F1=(4, 9)),
+    ...                         Rule.build(schema, ACCEPT)])
+    >>> equivalent(fw1, fw2)
+    True
+    """
+    return not compare_firewalls(fw_a, fw_b)
+
+
+def disputed_packet_count(fw_a: Firewall, fw_b: Firewall) -> int:
+    """Number of packets on which the two firewalls disagree.
+
+    Exact: sums the sizes of the (disjoint) discrepancy regions produced
+    by the comparison algorithm.
+    """
+    return sum(disc.size() for disc in compare_firewalls(fw_a, fw_b))

@@ -1,0 +1,124 @@
+"""Firewall change impact analysis (Sections 1.3 and 8.1).
+
+"The impact of the changes can literally be defined as the functional
+discrepancies between the firewall before changes and the firewall after
+changes."  This module runs the comparison pipeline on the before/after
+pair, classifies each discrepancy by its security meaning, and renders an
+administrator-facing report:
+
+* **newly allowed** — packets that were blocked and now pass (the change
+  may have opened a hole);
+* **newly blocked** — packets that passed and are now dropped (the change
+  may have broken a business flow);
+* **handling changed** — the permit/deny outcome is unchanged but the
+  decision differs (e.g. logging was added or removed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.aggregate import aggregate_discrepancies
+from repro.analysis.discrepancy import Discrepancy, format_discrepancy_table
+from repro.fdd.comparison import compare_firewalls
+from repro.policy.firewall import Firewall
+
+__all__ = ["ImpactKind", "ChangeImpactReport", "analyze_change"]
+
+
+class ImpactKind:
+    """Classification labels for a change-impact discrepancy."""
+
+    NEWLY_ALLOWED = "newly allowed"
+    NEWLY_BLOCKED = "newly blocked"
+    HANDLING_CHANGED = "handling changed"
+
+    @staticmethod
+    def classify(disc: Discrepancy) -> str:
+        """Classify a before(``a``)/after(``b``) discrepancy."""
+        before, after = disc.decision_a, disc.decision_b
+        if not before.permits and after.permits:
+            return ImpactKind.NEWLY_ALLOWED
+        if before.permits and not after.permits:
+            return ImpactKind.NEWLY_BLOCKED
+        return ImpactKind.HANDLING_CHANGED
+
+
+@dataclass
+class ChangeImpactReport:
+    """The full impact of a policy change."""
+
+    before: Firewall
+    after: Firewall
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the change did not alter the policy's semantics."""
+        return not self.discrepancies
+
+    def by_kind(self) -> dict[str, list[Discrepancy]]:
+        """Group the discrepancies by impact classification."""
+        groups: dict[str, list[Discrepancy]] = {
+            ImpactKind.NEWLY_ALLOWED: [],
+            ImpactKind.NEWLY_BLOCKED: [],
+            ImpactKind.HANDLING_CHANGED: [],
+        }
+        for disc in self.discrepancies:
+            groups[ImpactKind.classify(disc)].append(disc)
+        return groups
+
+    def affected_packets(self) -> int:
+        """Total number of packets whose decision changed (exact)."""
+        return sum(disc.size() for disc in self.discrepancies)
+
+    def render(self) -> str:
+        """Multi-line administrator-facing report."""
+        name_before = self.before.name or "before"
+        name_after = self.after.name or "after"
+        lines = [f"change impact: {name_before!r} -> {name_after!r}"]
+        if self.is_noop:
+            lines.append("  the change has no semantic effect (policies equivalent)")
+            return "\n".join(lines)
+        lines.append(
+            f"  {len(self.discrepancies)} discrepancy region(s),"
+            f" {self.affected_packets()} packet(s) affected"
+        )
+        for kind, discs in self.by_kind().items():
+            if not discs:
+                continue
+            lines.append(f"  {kind} ({len(discs)} region(s)):")
+            for disc in discs:
+                lines.append(
+                    f"    {disc.predicate.describe()}:"
+                    f" {disc.decision_a} -> {disc.decision_b}"
+                )
+        return "\n".join(lines)
+
+    def table(self) -> str:
+        """The discrepancies as a Table 3-style fixed-width table."""
+        return format_discrepancy_table(
+            self.discrepancies,
+            name_a=self.before.name or "before",
+            name_b=self.after.name or "after",
+        )
+
+
+def analyze_change(
+    before: Firewall, after: Firewall, *, aggregate: bool = True
+) -> ChangeImpactReport:
+    """Compute the impact of changing ``before`` into ``after``.
+
+    >>> from repro.fields import toy_schema
+    >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
+    >>> schema = toy_schema(9)
+    >>> before = Firewall(schema, [Rule.build(schema, ACCEPT)], name="v1")
+    >>> after = before.prepend(Rule.build(schema, DISCARD, F1=(0, 1))).with_name("v2")
+    >>> report = analyze_change(before, after)
+    >>> report.is_noop, len(report.by_kind()["newly blocked"])
+    (False, 1)
+    """
+    raw = compare_firewalls(before, after)
+    discs = aggregate_discrepancies(raw) if aggregate else raw
+    return ChangeImpactReport(before=before, after=after, discrepancies=discs)

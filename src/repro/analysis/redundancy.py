@@ -1,0 +1,133 @@
+"""Redundant-rule detection and removal (Complete Redundancy Detection in
+Firewalls [19]; needed by Section 6's resolution Method 2, step 2).
+
+"A rule is redundant if and only if removing the rule does not change the
+semantics of the firewall."  Two complementary detectors:
+
+* :func:`find_upward_redundant` — rules no packet can reach because the
+  rules above them already cover their whole predicate.  Detected
+  symbolically with box subtraction (cheap, sound, not complete).
+* :func:`find_redundant_rules` / :func:`remove_redundant_rules` — the
+  complete semantic criterion, decided exactly by running the paper's own
+  comparison pipeline on the firewall with and without the candidate rule.
+
+``remove_redundant_rules`` applies the complete criterion greedily from
+the top of the policy, re-checking against the current (already slimmed)
+policy so the result is minimal with respect to single-rule removals.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import NotComprehensiveError
+from repro.analysis.equivalence import equivalent
+from repro.intervals import IntervalSet
+from repro.policy.firewall import Firewall
+
+__all__ = [
+    "find_upward_redundant",
+    "find_redundant_rules",
+    "remove_redundant_rules",
+]
+
+
+def find_upward_redundant(firewall: Firewall) -> list[int]:
+    """Indices of rules that no packet reaches.
+
+    Maintains the part of each rule's predicate not covered by earlier
+    rules as a set of boxes (per-field interval-set products); a rule
+    whose residual is empty is upward redundant.  Purely symbolic, no
+    enumeration; exact for this redundancy class.
+    """
+    redundant: list[int] = []
+    earlier: list[tuple[IntervalSet, ...]] = []
+    for index, rule in enumerate(firewall.rules):
+        residual: list[tuple[IntervalSet, ...]] = [rule.predicate.sets]
+        for covered in earlier:
+            residual = _subtract_box(residual, covered)
+            if not residual:
+                break
+        if not residual:
+            redundant.append(index)
+        earlier.append(rule.predicate.sets)
+    return redundant
+
+
+def _subtract_box(
+    regions: list[tuple[IntervalSet, ...]], box: tuple[IntervalSet, ...]
+) -> list[tuple[IntervalSet, ...]]:
+    """Subtract one box from a list of boxes (standard peeling)."""
+    out: list[tuple[IntervalSet, ...]] = []
+    for region in regions:
+        overlap = tuple(a & b for a, b in zip(region, box))
+        if any(o.is_empty() for o in overlap):
+            out.append(region)
+            continue
+        remainder = list(region)
+        for i in range(len(remainder)):
+            outside = remainder[i] - box[i]
+            if not outside.is_empty():
+                piece = tuple(
+                    overlap[j] if j < i else (outside if j == i else remainder[j])
+                    for j in range(len(remainder))
+                )
+                out.append(piece)
+            remainder[i] = overlap[i]
+    return out
+
+
+def find_redundant_rules(firewall: Firewall) -> list[int]:
+    """Indices of rules that are individually redundant (complete criterion).
+
+    Each index ``i`` satisfies: the firewall without rule ``i`` is
+    semantically equivalent to the original.  Note removals interact — two
+    individually-redundant rules may not both be removable; use
+    :func:`remove_redundant_rules` to actually slim a policy.
+    """
+    redundant: list[int] = []
+    for index in range(len(firewall)):
+        if len(firewall) == 1:
+            break
+        try:
+            candidate = firewall.remove(index)
+        except NotComprehensiveError:
+            continue
+        if equivalent(firewall, candidate):
+            redundant.append(index)
+    return redundant
+
+
+def remove_redundant_rules(firewall: Firewall) -> Firewall:
+    """Greedily drop redundant rules, top-down, until none remain.
+
+    Preserves semantics exactly (each removal is verified with the
+    complete comparison pipeline) and keeps the policy comprehensive.
+
+    >>> from repro.fields import toy_schema
+    >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
+    >>> schema = toy_schema(9)
+    >>> fw = Firewall(schema, [Rule.build(schema, ACCEPT, F1=(0, 3)),
+    ...                        Rule.build(schema, ACCEPT, F1=(2, 3)),
+    ...                        Rule.build(schema, DISCARD)])
+    >>> len(remove_redundant_rules(fw))
+    2
+    """
+    current = firewall
+    changed = True
+    while changed:
+        # Removing one rule can make another (previously load-bearing)
+        # rule redundant, so sweep until a full pass removes nothing.
+        changed = False
+        index = 0
+        while index < len(current) and len(current) > 1:
+            try:
+                candidate = current.remove(index)
+            except NotComprehensiveError:
+                index += 1
+                continue
+            if equivalent(current, candidate):
+                current = candidate
+                changed = True
+                # Stay at the same index: the next rule shifted into it.
+            else:
+                index += 1
+    return current

@@ -1,0 +1,170 @@
+"""One-shot audit reports: everything the library knows about a change.
+
+Review workflows want a single document, not six API calls.  This module
+assembles the analyses into Markdown:
+
+* :func:`audit_change` — the full story of a policy change: equivalence
+  verdict, impact classification (newly allowed / blocked / handling),
+  the discrepancy table, anomalies introduced or removed, and size
+  deltas.  Suitable for attaching to a change ticket or a pull request
+  on a policy repository (pair with
+  :func:`repro.fdd.canonical.semantic_fingerprint` for commit metadata).
+* :func:`audit_policy` — a standalone policy health report: anomalies,
+  semantically dead rules, optional trace coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.aggregate import aggregate_discrepancies
+from repro.analysis.anomaly import find_anomalies
+from repro.analysis.coverage import coverage_report
+from repro.analysis.discrepancy import format_discrepancy_table
+from repro.analysis.impact import ImpactKind, analyze_change
+from repro.analysis.redundancy import find_upward_redundant
+from repro.fdd.canonical import semantic_fingerprint
+from repro.policy.firewall import Firewall
+
+__all__ = ["audit_change", "audit_policy"]
+
+
+def audit_change(before: Firewall, after: Firewall) -> str:
+    """Markdown audit of changing ``before`` into ``after``.
+
+    >>> from repro.fields import toy_schema
+    >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
+    >>> schema = toy_schema(9)
+    >>> a = Firewall(schema, [Rule.build(schema, ACCEPT)], name="v1")
+    >>> b = a.prepend(Rule.build(schema, DISCARD, F1="0-2")).with_name("v2")
+    >>> "newly blocked" in audit_change(a, b)
+    True
+    """
+    report = analyze_change(before, after)
+    name_before = before.name or "before"
+    name_after = after.name or "after"
+    lines = [
+        f"# Policy change audit: `{name_before}` -> `{name_after}`",
+        "",
+        f"* rules: {len(before)} -> {len(after)} ({len(after) - len(before):+d})",
+        f"* fingerprint before: `{semantic_fingerprint(before)[:16]}`",
+        f"* fingerprint after:  `{semantic_fingerprint(after)[:16]}`",
+        "",
+    ]
+    if report.is_noop:
+        lines.append(
+            "**Verdict: no semantic change.** The edit is provably a no-op;"
+            " every packet keeps its decision."
+        )
+        return "\n".join(lines) + "\n"
+
+    kinds = report.by_kind()
+    allowed = kinds[ImpactKind.NEWLY_ALLOWED]
+    blocked = kinds[ImpactKind.NEWLY_BLOCKED]
+    handling = kinds[ImpactKind.HANDLING_CHANGED]
+    lines.append(
+        f"**Verdict: semantics changed** — {len(report.discrepancies)}"
+        f" region(s), {report.affected_packets()} packet(s)."
+    )
+    lines.append("")
+    lines.append("| impact | regions | packets |")
+    lines.append("|---|---|---|")
+    for label, group in (
+        ("newly allowed", allowed),
+        ("newly blocked", blocked),
+        ("handling changed", handling),
+    ):
+        lines.append(
+            f"| {label} | {len(group)} | {sum(d.size() for d in group)} |"
+        )
+    lines.append("")
+    if allowed:
+        lines.append(
+            "⚠ **Newly allowed traffic** — review each region; this is the"
+            " security-hole direction:"
+        )
+        lines.append("")
+        lines.append("```")
+        lines.append(
+            format_discrepancy_table(allowed, name_a=name_before, name_b=name_after)
+        )
+        lines.append("```")
+        lines.append("")
+    if blocked:
+        lines.append(
+            "**Newly blocked traffic** — the business-breakage direction:"
+        )
+        lines.append("")
+        lines.append("```")
+        lines.append(
+            format_discrepancy_table(blocked, name_a=name_before, name_b=name_after)
+        )
+        lines.append("```")
+        lines.append("")
+    lines.extend(_anomaly_delta(before, after))
+    return "\n".join(lines) + "\n"
+
+
+def _anomaly_delta(before: Firewall, after: Firewall) -> list[str]:
+    before_kinds = {}
+    for anomaly in find_anomalies(before):
+        before_kinds[anomaly.kind] = before_kinds.get(anomaly.kind, 0) + 1
+    after_kinds = {}
+    for anomaly in find_anomalies(after):
+        after_kinds[anomaly.kind] = after_kinds.get(anomaly.kind, 0) + 1
+    if before_kinds == after_kinds:
+        return []
+    lines = ["Anomaly counts (pairwise, informational):", ""]
+    for kind in sorted(set(before_kinds) | set(after_kinds)):
+        b = before_kinds.get(kind, 0)
+        a = after_kinds.get(kind, 0)
+        marker = "" if a == b else f" ({a - b:+d})"
+        lines.append(f"* {kind}: {b} -> {a}{marker}")
+    lines.append("")
+    return lines
+
+
+def audit_policy(
+    firewall: Firewall,
+    *,
+    trace: Iterable[Sequence[int]] | None = None,
+) -> str:
+    """Markdown health report for one policy.
+
+    With a ``trace`` (an iterable of packets), includes operational rule
+    coverage; without one, the semantic checks alone.
+    """
+    name = firewall.name or "policy"
+    lines = [
+        f"# Policy health: `{name}`",
+        "",
+        f"* rules: {len(firewall)}",
+        f"* fingerprint: `{semantic_fingerprint(firewall)[:16]}`",
+        f"* catch-all present: {'yes' if firewall.has_catchall() else 'no'}",
+        "",
+    ]
+    dead = find_upward_redundant(firewall)
+    if dead:
+        lines.append(
+            f"⚠ **{len(dead)} unreachable rule(s)** (no packet can ever hit"
+            " them): " + ", ".join(f"r{i + 1}" for i in dead)
+        )
+    else:
+        lines.append("* no unreachable rules")
+    anomalies = find_anomalies(firewall)
+    if anomalies:
+        lines.append(f"* {len(anomalies)} pairwise anomaly flag(s):")
+        for anomaly in anomalies[:20]:
+            lines.append(f"  * {anomaly.describe(firewall)}")
+        if len(anomalies) > 20:
+            lines.append(f"  * ... and {len(anomalies) - 20} more")
+    else:
+        lines.append("* no pairwise anomalies")
+    if trace is not None:
+        lines.append("")
+        lines.append("## Trace coverage")
+        lines.append("")
+        lines.append("```")
+        lines.append(coverage_report(firewall, trace).render())
+        lines.append("```")
+    return "\n".join(lines) + "\n"

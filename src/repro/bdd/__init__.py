@@ -1,0 +1,21 @@
+"""The Section 7.5 baseline: BDD-based firewall comparison.
+
+A from-scratch ROBDD engine plus a firewall encoder, used to reproduce
+the paper's argument for FDDs over BDDs: the BDD pipeline computes the
+same disputed packet set, but its rule-like output (cubes of the XOR
+diagram) explodes in size and is not human readable.
+"""
+
+from repro.bdd.bdd import FALSE, TRUE, BDDManager
+from repro.bdd.compare import BDDComparison, compare_with_bdd, cube_to_text
+from repro.bdd.encode import FirewallEncoder
+
+__all__ = [
+    "BDDComparison",
+    "BDDManager",
+    "FALSE",
+    "FirewallEncoder",
+    "TRUE",
+    "compare_with_bdd",
+    "cube_to_text",
+]

@@ -1,0 +1,213 @@
+"""A from-scratch ROBDD engine (the Section 7.5 baseline substrate).
+
+The paper asks "why not BDDs?" and answers by implementing a BDD-based
+comparator (with CUDD) and observing that the discrepancies it produces
+are not human readable: every node is a *bit* of a packet, and extracting
+rule-like output from the XOR diagram yields millions of bit-level cubes.
+To reproduce that argument offline we implement the classic reduced
+ordered BDD machinery ourselves:
+
+* hash-consed nodes in a unique table (structural sharing, O(1) equality);
+* ``ite`` (if-then-else) with memoization as the single combinator, from
+  which and/or/xor/not derive [Bryant 1986];
+* model counting and cube enumeration over a fixed variable universe.
+
+Nodes are integers: ``0`` and ``1`` are the terminals; internal nodes are
+indices into the manager's node arrays.  Variables are integers ordered by
+their index (smaller index = closer to the root).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exceptions import BDDError
+
+__all__ = ["BDDManager", "FALSE", "TRUE"]
+
+#: Terminal node ids.
+FALSE = 0
+TRUE = 1
+
+
+class BDDManager:
+    """Owns the unique table and operation caches for one BDD universe.
+
+    ``num_vars`` fixes the variable universe (needed for model counting).
+    Functions from different managers must not be mixed.
+    """
+
+    def __init__(self, num_vars: int):
+        if num_vars < 1:
+            raise BDDError("a BDD manager needs at least one variable")
+        self.num_vars = num_vars
+        # Parallel arrays indexed by node id; entries 0/1 are placeholders
+        # for the terminals.
+        self._var: list[int] = [num_vars, num_vars]
+        self._low: list[int] = [FALSE, TRUE]
+        self._high: list[int] = [FALSE, TRUE]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Return the canonical node ``(var, low, high)`` (reduced)."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        node = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> int:
+        """The function of the single variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise BDDError(f"variable {index} out of range [0, {self.num_vars})")
+        return self._mk(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> int:
+        """The negation of variable ``index``."""
+        return self._mk(index, TRUE, FALSE)
+
+    # ------------------------------------------------------------------
+    # The ite combinator and boolean algebra
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``if f then g else h``, the universal ROBDD combinator."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        found = self._ite_cache.get(key)
+        if found is not None:
+            return found
+        top = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        result = self._mk(
+            top,
+            self.ite(f0, g0, h0),
+            self.ite(f1, g1, h1),
+        )
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, var: int) -> tuple[int, int]:
+        if self._var[node] != var:
+            return node, node
+        return self._low[node], self._high[node]
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, TRUE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or — the discrepancy combinator of Section 7.5."""
+        return self.ite(f, self.not_(g), g)
+
+    def not_(self, f: int) -> int:
+        """Negation."""
+        return self.ite(f, FALSE, TRUE)
+
+    def diff(self, f: int, g: int) -> int:
+        """``f and not g``."""
+        return self.ite(f, self.not_(g), FALSE)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def node_count(self, f: int) -> int:
+        """Number of distinct internal nodes reachable from ``f``."""
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in (FALSE, TRUE) or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return len(seen)
+
+    def count_solutions(self, f: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` variables."""
+        memo: dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            # Solutions over the variables var(node) .. num_vars-1; the
+            # terminals carry the sentinel var == num_vars, so the gap
+            # arithmetic below covers skipped variables uniformly.
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            found = memo.get(node)
+            if found is not None:
+                return found
+            var = self._var[node]
+            total = 0
+            for child in (self._low[node], self._high[node]):
+                partial = rec(child)
+                if partial:
+                    total += partial << (self._var[child] - var - 1)
+            memo[node] = total
+            return total
+
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1 << self.num_vars
+        return rec(f) << self._var[f]
+
+    def cubes(self, f: int, limit: int | None = None) -> Iterator[dict[int, bool]]:
+        """Yield the cubes (paths to TRUE) of ``f`` as {var: value} dicts.
+
+        Each cube is one "rule" of the BDD-based discrepancy output; the
+        baseline benchmark counts them (capped by ``limit``).
+        """
+        emitted = 0
+        path: dict[int, bool] = {}
+
+        def rec(node: int) -> Iterator[dict[int, bool]]:
+            nonlocal emitted
+            if node == FALSE:
+                return
+            if node == TRUE:
+                yield dict(path)
+                return
+            var = self._var[node]
+            for value, child in ((False, self._low[node]), (True, self._high[node])):
+                path[var] = value
+                yield from rec(child)
+                del path[var]
+
+        for cube in rec(f):
+            yield cube
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+
+    def count_cubes(self, f: int, limit: int | None = None) -> int:
+        """Number of cubes of ``f`` (up to ``limit``), without storing them."""
+        count = 0
+        for _ in self.cubes(f, limit):
+            count += 1
+        return count

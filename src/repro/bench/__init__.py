@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness in ``benchmarks/``."""
+
+from repro.bench.harness import (
+    EffectivenessResult,
+    Fig12Row,
+    Fig13Row,
+    bench_scale,
+    effectiveness_experiment,
+    fig12_experiment,
+    fig13_experiment,
+)
+from repro.bench.reporting import banner, render_series, render_table
+from repro.bench.timing import (
+    FastTimings,
+    PhaseTimings,
+    timed_comparison,
+    timed_fast_comparison,
+)
+
+__all__ = [
+    "EffectivenessResult",
+    "FastTimings",
+    "Fig12Row",
+    "Fig13Row",
+    "PhaseTimings",
+    "banner",
+    "bench_scale",
+    "effectiveness_experiment",
+    "fig12_experiment",
+    "fig13_experiment",
+    "render_series",
+    "render_table",
+    "timed_comparison",
+    "timed_fast_comparison",
+]

@@ -1,0 +1,55 @@
+"""Fixed-width tables and ASCII series for the benchmark harness.
+
+The benchmarks must "print the same rows/series the paper reports"; these
+helpers render experiment rows as aligned tables plus a coarse ASCII plot
+so the growth shapes of Figs. 12/13 are visible in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "banner"]
+
+
+def banner(title: str, *details: str) -> str:
+    """A reproducibility header: experiment name plus seeds/parameters."""
+    lines = ["=" * 72, title]
+    lines.extend(f"  {detail}" for detail in details)
+    lines.append("=" * 72)
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Aligned fixed-width table; floats are shown with one decimal."""
+    text_rows = [
+        [f"{cell:.1f}" if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in text_rows)) if text_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    label: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    *,
+    width: int = 50,
+) -> str:
+    """One horizontal-bar series (an ASCII stand-in for a figure line)."""
+    peak = max(ys) if ys else 0.0
+    lines = [label]
+    for x, y in zip(xs, ys):
+        bar = "#" * (int(round(width * y / peak)) if peak > 0 else 0)
+        lines.append(f"  {str(x):>8}  {y:>10.1f}  {bar}")
+    return "\n".join(lines)

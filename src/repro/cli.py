@@ -1,0 +1,303 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Puts the paper's workflows at an administrator's fingertips, over policy
+files in the library's text format (see :mod:`repro.policy.parser`):
+
+.. code-block:: console
+
+    $ python -m repro compare team_a.fw team_b.fw
+    $ python -m repro impact before.fw after.fw
+    $ python -m repro equivalent a.fw b.fw
+    $ python -m repro query policy.fw "count accept where dst_port=smtp"
+    $ python -m repro compact policy.fw
+    $ python -m repro anomalies policy.fw
+    $ python -m repro export policy.fw --format iptables
+    $ python -m repro import rules.v4 --format iptables
+    $ python -m repro show policy.fw
+    $ python -m repro fingerprint policy.fw
+    $ python -m repro slice policy.fw "dst_ip=192.168.0.1"
+    $ python -m repro audit before.fw after.fw
+
+All commands exit 0 on success; ``compare`` and ``impact`` exit 1 when
+discrepancies exist and ``equivalent`` exits 1 when the policies differ,
+so the commands compose into shell checks (e.g. CI gates on policy
+changes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import (
+    aggregate_discrepancies,
+    analyze_change,
+    find_anomalies,
+    format_discrepancy_table,
+    remove_redundant_rules,
+    run_query,
+)
+from repro.exceptions import ReproError
+from repro.fdd import compare_firewalls
+from repro.policy import dumps, load, to_cisco_acl, to_iptables, to_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for doc generation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Diverse firewall design: compare, resolve, audit policies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser(
+        "compare", help="all functional discrepancies between two policies"
+    )
+    compare.add_argument("policy_a")
+    compare.add_argument("policy_b")
+    compare.add_argument(
+        "--raw", action="store_true", help="print raw cells (skip aggregation)"
+    )
+
+    impact = sub.add_parser(
+        "impact", help="change impact analysis: before vs after"
+    )
+    impact.add_argument("before")
+    impact.add_argument("after")
+
+    equivalent = sub.add_parser(
+        "equivalent", help="check two policies for semantic equivalence"
+    )
+    equivalent.add_argument("policy_a")
+    equivalent.add_argument("policy_b")
+
+    query = sub.add_parser("query", help="answer a query against a policy")
+    query.add_argument("policy")
+    query.add_argument("text", help='e.g. "count accept where dst_port=smtp"')
+
+    compact = sub.add_parser(
+        "compact", help="remove provably redundant rules (prints the result)"
+    )
+    compact.add_argument("policy")
+
+    anomalies = sub.add_parser(
+        "anomalies", help="flag pairwise rule anomalies (shadowing, ...)"
+    )
+    anomalies.add_argument("policy")
+
+    export = sub.add_parser("export", help="render in a device-style format")
+    export.add_argument("policy")
+    export.add_argument(
+        "--format",
+        choices=("iptables", "cisco", "text"),
+        default="text",
+        dest="fmt",
+    )
+
+    show = sub.add_parser("show", help="pretty-print a policy as a table")
+    show.add_argument("policy")
+
+    fingerprint = sub.add_parser(
+        "fingerprint",
+        help="semantic fingerprint (equal fingerprints = equal semantics)",
+    )
+    fingerprint.add_argument("policy")
+
+    slice_cmd = sub.add_parser(
+        "slice", help="the part of the policy deciding a region"
+    )
+    slice_cmd.add_argument("policy")
+    slice_cmd.add_argument(
+        "region", help='e.g. "dst_ip=192.168.0.1, dst_port=smtp"'
+    )
+
+    audit = sub.add_parser(
+        "audit", help="Markdown audit: one policy, or a before/after change"
+    )
+    audit.add_argument("policy")
+    audit.add_argument(
+        "after", nargs="?", help="when given, audit the change policy->after"
+    )
+
+    imp = sub.add_parser(
+        "import", help="convert a device config to the policy text format"
+    )
+    imp.add_argument("config")
+    imp.add_argument("--format", choices=("iptables", "cisco"), required=True, dest="fmt")
+    imp.add_argument(
+        "--schema-header",
+        action="store_true",
+        help="emit a 'firewall ... schema=standard' header",
+    )
+    return parser
+
+
+def _cmd_compare(args) -> int:
+    fw_a = load(args.policy_a)
+    fw_b = load(args.policy_b)
+    discs = compare_firewalls(fw_a, fw_b)
+    if not args.raw:
+        discs = aggregate_discrepancies(discs)
+    if not discs:
+        print("the two policies are semantically equivalent")
+        return 0
+    print(
+        format_discrepancy_table(
+            discs,
+            name_a=fw_a.name or "A",
+            name_b=fw_b.name or "B",
+            title=f"{len(discs)} functional discrepancy region(s)",
+        )
+    )
+    return 1
+
+
+def _cmd_impact(args) -> int:
+    report = analyze_change(load(args.before), load(args.after))
+    print(report.render())
+    return 0 if report.is_noop else 1
+
+
+def _cmd_equivalent(args) -> int:
+    discs = compare_firewalls(load(args.policy_a), load(args.policy_b))
+    if discs:
+        print(f"NOT equivalent: {len(aggregate_discrepancies(discs))} region(s) differ")
+        return 1
+    print("equivalent")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    print(run_query(args.text, load(args.policy)))
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    firewall = load(args.policy)
+    slim = remove_redundant_rules(firewall)
+    removed = len(firewall) - len(slim)
+    print(f"# removed {removed} redundant rule(s): {len(firewall)} -> {len(slim)}")
+    sys.stdout.write(dumps(slim))
+    return 0
+
+
+def _cmd_anomalies(args) -> int:
+    firewall = load(args.policy)
+    found = find_anomalies(firewall)
+    if not found:
+        print("no pairwise anomalies")
+        return 0
+    for anomaly in found:
+        print(anomaly.describe(firewall))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    firewall = load(args.policy)
+    if args.fmt == "iptables":
+        sys.stdout.write(to_iptables(firewall))
+    elif args.fmt == "cisco":
+        sys.stdout.write(to_cisco_acl(firewall))
+    else:
+        sys.stdout.write(dumps(firewall))
+    return 0
+
+
+def _cmd_show(args) -> int:
+    print(to_table(load(args.policy)))
+    return 0
+
+
+def _cmd_fingerprint(args) -> int:
+    from repro.fdd import semantic_fingerprint
+
+    print(semantic_fingerprint(load(args.policy)))
+    return 0
+
+
+def _cmd_slice(args) -> int:
+    from repro.analysis import relevant_rules, slice_firewall
+
+    firewall = load(args.policy)
+    region = _parse_region(args.region, firewall.schema)
+    indices = relevant_rules(firewall, region)
+    print(
+        f"# rules deciding the region: {', '.join(f'r{i + 1}' for i in indices) or '(none)'}"
+    )
+    print(to_table(slice_firewall(firewall, region)))
+    return 0
+
+
+def _parse_region(text: str, schema):
+    """Parse a 'field=values, field=values' region description."""
+    from repro.policy import Predicate
+
+    conjuncts = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, _, values = chunk.partition("=")
+        conjuncts[name.strip()] = values.strip()
+    return Predicate.from_fields(schema, **conjuncts)
+
+
+def _cmd_audit(args) -> int:
+    from repro.analysis import audit_change, audit_policy
+
+    if args.after is None:
+        sys.stdout.write(audit_policy(load(args.policy)))
+    else:
+        sys.stdout.write(audit_change(load(args.policy), load(args.after)))
+    return 0
+
+
+def _cmd_import(args) -> int:
+    from repro.policy import from_cisco_acl, from_iptables
+
+    with open(args.config, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    firewall = (
+        from_iptables(text) if args.fmt == "iptables" else from_cisco_acl(text)
+    )
+    sys.stdout.write(
+        dumps(firewall, schema_key="standard" if args.schema_header else None)
+    )
+    return 0
+
+
+_COMMANDS = {
+    "compare": _cmd_compare,
+    "impact": _cmd_impact,
+    "equivalent": _cmd_equivalent,
+    "query": _cmd_query,
+    "compact": _cmd_compact,
+    "anomalies": _cmd_anomalies,
+    "export": _cmd_export,
+    "show": _cmd_show,
+    "fingerprint": _cmd_fingerprint,
+    "slice": _cmd_slice,
+    "audit": _cmd_audit,
+    "import": _cmd_import,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class.  Sub-classes are
+grouped by the subsystem that raises them; each carries a human-readable
+message and, where useful, structured attributes describing the offending
+object.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class IntervalError(ReproError):
+    """An interval or interval set was constructed or used incorrectly.
+
+    Raised, for example, when an interval's low endpoint exceeds its high
+    endpoint, or when an operation would produce a value outside the
+    non-negative integer universe the paper's model requires.
+    """
+
+
+class AddressError(ReproError):
+    """An IPv4 address, CIDR prefix, port, or protocol failed to parse."""
+
+
+class SchemaError(ReproError):
+    """A field schema was invalid or two schemas were incompatible.
+
+    The comparison algorithms require both firewalls to be defined over the
+    same ordered field schema (Section 3.1 of the paper); mixing schemas
+    raises this error rather than silently producing garbage.
+    """
+
+
+class PolicyError(ReproError):
+    """A firewall policy (rule list) violated a structural requirement."""
+
+
+class NotComprehensiveError(PolicyError):
+    """A rule sequence does not match every packet.
+
+    Section 3.1: "A sequence of rules needs to be comprehensive for it to
+    serve as a firewall."  The exception records a witness packet that no
+    rule matches, when one is available.
+    """
+
+    def __init__(self, message: str, witness=None):
+        super().__init__(message)
+        #: A packet tuple matched by no rule, or ``None`` if not computed.
+        self.witness = witness
+
+
+class FDDError(ReproError):
+    """An FDD violated one of its defining properties (Section 2).
+
+    The defining properties are: single root, labelled nodes, edge labels
+    that are subsets of the parent field's domain, no repeated labels along
+    a decision path, and the *consistency* and *completeness* of each
+    node's outgoing edge set.
+    """
+
+
+class NotOrderedError(FDDError):
+    """An FDD was not ordered but an ordered FDD was required (Def. 4.1)."""
+
+
+class NotSimpleError(FDDError):
+    """An FDD was not simple but a simple FDD was required (Def. 4.3)."""
+
+
+class NotSemiIsomorphicError(FDDError):
+    """Two FDDs expected to be semi-isomorphic were not (Def. 4.2)."""
+
+
+class ParseError(ReproError):
+    """A textual firewall policy or rule failed to parse.
+
+    Carries the one-based ``line`` number when parsing multi-line input.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        #: One-based line number of the offending input line, if known.
+        self.line = line
+
+
+class BDDError(ReproError):
+    """The BDD engine was used incorrectly (wrong manager, bad variable)."""
+
+
+class ResolutionError(ReproError):
+    """Discrepancy resolution input was inconsistent or incomplete.
+
+    Raised when the resolved decisions handed to Section 6's methods do not
+    cover all reported discrepancies, or cover packets that were never in
+    dispute.
+    """
+
+
+class QueryError(ReproError):
+    """A firewall query (extension module) was malformed."""

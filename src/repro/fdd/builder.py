@@ -1,0 +1,180 @@
+"""Designing firewalls directly as FDDs (Section 7.2, "Design in FDDs").
+
+"A team can use the structured firewall design method in [12] to design
+the firewall by using an FDD."  This module gives such a team a safe
+construction API: a :class:`FDDBuilder` assembles the diagram field by
+field, enforcing the consistency and completeness properties *as you
+build* instead of failing validation afterwards.
+
+Section 7.2's two interoperability cases are covered:
+
+* a team designed a (possibly differently-)ordered FDD — convert it to a
+  rule sequence with :func:`repro.fdd.generation.generate_firewall` and
+  re-construct it under any field order (:func:`reorder_fdd`);
+* a team designed a *non-ordered* FDD — :func:`reorder_fdd` performs the
+  same generate-then-reconstruct round trip the paper prescribes.
+
+Example: the requirement specification of Section 2.1 as an FDD::
+
+    builder = FDDBuilder(schema)
+    root = builder.node("interface")
+    inside = builder.terminal(ACCEPT)
+    ... (see examples/ and the tests)
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FDDError, SchemaError
+from repro.fields import FieldSchema
+from repro.intervals import IntervalSet
+from repro.policy.decision import Decision
+from repro.fdd.construction import construct_fdd
+from repro.fdd.fdd import FDD
+from repro.fdd.generation import generate_firewall
+from repro.fdd.node import Edge, InternalNode, Node, TerminalNode
+
+__all__ = ["FDDBuilder", "reorder_fdd"]
+
+
+class _PendingNode:
+    """A node under construction: tracks which values remain uncovered."""
+
+    __slots__ = ("inner", "remaining", "builder")
+
+    def __init__(self, builder: "FDDBuilder", field_index: int, domain: IntervalSet):
+        self.builder = builder
+        self.inner = InternalNode(field_index)
+        self.remaining = domain
+
+    # ------------------------------------------------------------------
+    @property
+    def field_name(self) -> str:
+        return self.builder.schema[self.inner.field_index].name
+
+    def edge(self, values, target) -> "_PendingNode":
+        """Add an outgoing edge for ``values`` (field vocabulary or set).
+
+        ``target`` may be another pending node, a finished pending node,
+        or a :class:`~repro.policy.decision.Decision` (auto-terminal).
+        Returns ``self`` for chaining.
+        """
+        field = self.builder.schema[self.inner.field_index]
+        if isinstance(values, str):
+            values = field.parse_value_set(values)
+        elif not isinstance(values, IntervalSet):
+            values = IntervalSet.of(values)
+        if values.is_empty():
+            raise FDDError(f"edge on {self.field_name} must cover at least one value")
+        if not values.issubset(self.remaining):
+            overlap = values - self.remaining
+            raise FDDError(
+                f"edge values {overlap} on {self.field_name} are outside the"
+                " node's uncovered domain (consistency would break)"
+            )
+        self.remaining = self.remaining - values
+        self.inner.add_edge(values, self.builder._resolve(target))
+        return self
+
+    def otherwise(self, target) -> "_PendingNode":
+        """Cover everything not yet covered (the completeness closer)."""
+        if self.remaining.is_empty():
+            raise FDDError(
+                f"node on {self.field_name} is already complete; 'otherwise'"
+                " has nothing to cover"
+            )
+        self.inner.add_edge(self.remaining, self.builder._resolve(target))
+        self.remaining = IntervalSet.empty()
+        return self
+
+    def is_complete(self) -> bool:
+        """True when the outgoing edges cover the field's whole domain."""
+        return self.remaining.is_empty()
+
+
+class FDDBuilder:
+    """Assembles a valid FDD incrementally.
+
+    The builder enforces: edge labels within a node are disjoint
+    (consistency, at call time), every node is completed before the
+    diagram is finalized (completeness), and no field repeats along a
+    path (checked in :meth:`finish`) — the properties Section 2
+    requires.  Non-ordered diagrams are legal (Section 7.2); feed them
+    through :func:`reorder_fdd` before shaping/comparison.
+
+    >>> from repro.fields import toy_schema
+    >>> from repro.policy import ACCEPT, DISCARD
+    >>> schema = toy_schema(9, 9)
+    >>> b = FDDBuilder(schema)
+    >>> leaf = b.node("F2").edge("0-4", ACCEPT).otherwise(DISCARD)
+    >>> root = b.node("F1").edge("0-2", leaf).otherwise(DISCARD)
+    >>> fdd = b.finish(root)
+    >>> fdd.evaluate((1, 3)).name, fdd.evaluate((5, 3)).name
+    ('accept', 'discard')
+    """
+
+    def __init__(self, schema: FieldSchema):
+        self.schema = schema
+        self._pending: list[_PendingNode] = []
+
+    def node(self, field_name: str) -> _PendingNode:
+        """Start a new internal node labelled with ``field_name``."""
+        index = self.schema.index_of(field_name)
+        pending = _PendingNode(self, index, self.schema.domain(index))
+        self._pending.append(pending)
+        return pending
+
+    def terminal(self, decision: Decision) -> TerminalNode:
+        """A terminal node (decisions are also accepted directly)."""
+        return TerminalNode(decision)
+
+    def _resolve(self, target) -> Node:
+        if isinstance(target, _PendingNode):
+            return target.inner
+        if isinstance(target, (TerminalNode, InternalNode)):
+            return target
+        if isinstance(target, Decision):
+            return TerminalNode(target)
+        raise SchemaError(
+            f"edge target must be a pending node, node, or Decision;"
+            f" got {type(target).__name__}"
+        )
+
+    def finish(self, root) -> FDD:
+        """Validate completeness/ordering of everything and wrap the FDD."""
+        for pending in self._pending:
+            if not pending.is_complete():
+                raise FDDError(
+                    f"node on {pending.field_name} is incomplete: values"
+                    f" {pending.remaining} are uncovered; add an edge or"
+                    " call .otherwise(...)"
+                )
+        fdd = FDD(self.schema, self._resolve(root))
+        fdd.validate()
+        return fdd
+
+
+def reorder_fdd(fdd: FDD, order: list[str] | None = None) -> FDD:
+    """Rebuild an FDD under a (possibly different) field order.
+
+    Implements Section 7.2's recipe for mixed-order or non-ordered
+    designs: "generate an equivalent sequence of rules from one diagram,
+    and then construct an equivalent ordered FDD from the sequence of
+    rules by using the order of packet fields from the other FDD."
+
+    ``order`` names the fields in the desired root-to-leaf order and
+    defaults to the schema's own order.  The result is an ordered FDD
+    over the (reordered) schema, semantically equivalent to the input.
+    """
+    firewall = generate_firewall(fdd, reduce=True, compact=False)
+    if order is None:
+        return construct_fdd(firewall)
+    schema = fdd.schema.reordered(order)
+    from repro.policy.firewall import Firewall
+    from repro.policy.predicate import Predicate
+    from repro.policy.rule import Rule
+
+    rules = []
+    for rule in firewall.rules:
+        sets = tuple(rule.predicate.field_set(name) for name in order)
+        rules.append(Rule(Predicate(schema, sets), rule.decision, rule.comment))
+    return construct_fdd(Firewall(schema, rules, name=firewall.name))

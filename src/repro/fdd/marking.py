@@ -1,0 +1,94 @@
+"""FDD marking: choose per-node default edges for compact generation.
+
+From Structured Firewall Design [12] (needed by Section 6's resolution
+Method 1).  Rule generation (:mod:`repro.fdd.generation`) emits, for each
+internal node, the rules of one designated **marked** outgoing edge *last*
+and with the predicate conjunct ``F in D(F)`` ("all") instead of the
+edge's actual label.  That is semantics-preserving under first-match —
+packets belonging to sibling edges already matched the sibling rules — and
+it pays off doubly:
+
+* a marked edge contributes **one** conjunct interval instead of the
+  ``k`` component intervals of its label, so every *simple* rule family
+  generated through it shrinks by a factor of ``k``;
+* the final generated rule becomes a genuine catch-all, so the output is
+  comprehensive by construction.
+
+The classic dynamic program computes, per node, the number of simple rules
+its subtree generates (its **load**) and marks the edge that saves the
+most: the one maximizing ``(intervals(e) - 1) * load(target)``.
+"""
+
+from __future__ import annotations
+
+from repro.fdd.fdd import FDD
+from repro.fdd.node import Edge, InternalNode, Node, TerminalNode
+
+__all__ = ["mark_fdd", "marked_edge", "node_load"]
+
+#: Marks live outside the node objects so diagrams stay reusable: a
+#: marking is a dict from internal-node id to the chosen Edge.
+Marking = dict[int, Edge]
+
+
+def node_load(node: Node, marking: Marking, memo: dict[int, int] | None = None) -> int:
+    """Number of simple rules the subtree at ``node`` generates.
+
+    ``load(terminal) = 1``; for an internal node each edge contributes
+    ``intervals(label) * load(child)``, except the marked edge, whose
+    label is emitted as ``all`` and so contributes ``1 * load(child)``.
+    """
+    if memo is None:
+        memo = {}
+    if isinstance(node, TerminalNode):
+        return 1
+    cached = memo.get(id(node))
+    if cached is not None:
+        return cached
+    total = 0
+    chosen = marking.get(id(node))
+    for edge in node.edges:
+        weight = 1 if edge is chosen else len(edge.label.intervals)
+        total += weight * node_load(edge.target, marking, memo)
+    memo[id(node)] = total
+    return total
+
+
+def mark_fdd(fdd: FDD) -> Marking:
+    """Compute a load-minimizing marking for every internal node.
+
+    Bottom-up: children's loads are fixed before a parent chooses its
+    marked edge, so the greedy per-node choice (maximize saved simple
+    rules) is globally optimal for this cost model.
+    """
+    marking: Marking = {}
+    load_memo: dict[int, int] = {}
+
+    def rec(node: Node) -> int:
+        if isinstance(node, TerminalNode):
+            return 1
+        cached = load_memo.get(id(node))
+        if cached is not None:
+            return cached
+        child_loads = [(edge, rec(edge.target)) for edge in node.edges]
+        best_edge, _best_saving = None, -1
+        for edge, child_load in child_loads:
+            saving = (len(edge.label.intervals) - 1) * child_load
+            if saving > _best_saving:
+                best_edge, _best_saving = edge, saving
+        assert best_edge is not None
+        marking[id(node)] = best_edge
+        total = 0
+        for edge, child_load in child_loads:
+            weight = 1 if edge is best_edge else len(edge.label.intervals)
+            total += weight * child_load
+        load_memo[id(node)] = total
+        return total
+
+    rec(fdd.root)
+    return marking
+
+
+def marked_edge(node: InternalNode, marking: Marking) -> Edge:
+    """The marked outgoing edge of ``node`` (last edge if unmarked)."""
+    return marking.get(id(node), node.edges[-1])

@@ -1,0 +1,147 @@
+"""Rendering FDDs for humans: Graphviz DOT and ASCII trees.
+
+The paper communicates FDDs through figures (Figs. 2-5 draw the running
+example's diagrams); this module regenerates those views from live
+diagrams:
+
+* :func:`to_dot` — Graphviz DOT text (``dot -Tpng`` renders the paper's
+  figure style: field-labelled ovals, decision boxes, interval-labelled
+  edges);
+* :func:`to_ascii` — an indented tree for terminals and logs, including
+  the shared-subgraph structure of reduced diagrams (back-references are
+  printed once and cited by node id).
+"""
+
+from __future__ import annotations
+
+from repro.fdd.fdd import FDD
+from repro.fdd.node import InternalNode, Node, TerminalNode
+
+__all__ = ["to_dot", "to_ascii"]
+
+
+def _edge_label(fdd: FDD, node: InternalNode, label) -> str:
+    field = fdd.schema[node.field_index]
+    return field.format_value_set(label)
+
+
+def to_dot(fdd: FDD, *, title: str = "") -> str:
+    """Render an FDD as Graphviz DOT text.
+
+    Shared subgraphs (reduced FDDs) render once, with multiple incoming
+    edges — DOT handles the DAG natively.
+
+    >>> from repro.fields import toy_schema
+    >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
+    >>> from repro.fdd import construct_fdd
+    >>> schema = toy_schema(9)
+    >>> fdd = construct_fdd(Firewall(schema, [Rule.build(schema, ACCEPT)]))
+    >>> print(to_dot(fdd))  # doctest: +ELLIPSIS
+    digraph FDD {
+    ...
+    }
+    """
+    ids: dict[int, str] = {}
+    lines = ["digraph FDD {"]
+    if title:
+        lines.append(f'  label="{title}";')
+        lines.append("  labelloc=t;")
+    lines.append("  node [fontname=Helvetica];")
+
+    def name_of(node: Node) -> str:
+        found = ids.get(id(node))
+        if found is not None:
+            return found
+        name = f"n{len(ids)}"
+        ids[id(node)] = name
+        if isinstance(node, TerminalNode):
+            lines.append(
+                f'  {name} [shape=box, label="{node.decision.short}",'
+                ' style=filled, fillcolor="%s"];'
+                % ("palegreen" if node.decision.permits else "lightcoral")
+            )
+        else:
+            field = fdd.schema[node.field_index]
+            lines.append(f'  {name} [shape=ellipse, label="{field.symbol}"];')
+        return name
+
+    def walk(node: Node) -> None:
+        source = name_of(node)
+        if isinstance(node, TerminalNode):
+            return
+        for edge in node.edges:
+            seen_target = id(edge.target) in ids
+            target = name_of(edge.target)
+            label = _edge_label(fdd, node, edge.label).replace('"', "'")
+            lines.append(f'  {source} -> {target} [label="{label}"];')
+            if not seen_target:
+                walk(edge.target)
+
+    name_of(fdd.root)
+    walk(fdd.root)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(fdd: FDD, *, max_label: int = 40) -> str:
+    """Render an FDD as an indented ASCII tree.
+
+    Shared subgraphs print once; later references cite the node id:
+
+    .. code-block:: text
+
+        I
+        +- 0 -> S
+        |       +- 224.168.0.0/16 -> [discard]
+        |       +- all except 224.168.0.0/16 -> D ...
+        +- 1 -> [accept]
+    """
+    ids: dict[int, int] = {}
+    lines: list[str] = []
+
+    def label_of(node: Node) -> str:
+        if isinstance(node, TerminalNode):
+            return f"[{node.decision}]"
+        return fdd.schema[node.field_index].symbol
+
+    def walk(node: Node, prefix: str) -> None:
+        if isinstance(node, TerminalNode):
+            return
+        for index, edge in enumerate(node.edges):
+            last = index == len(node.edges) - 1
+            connector = "`- " if last else "+- "
+            child_prefix = prefix + ("   " if last else "|  ")
+            text = _edge_label(fdd, node, edge.label)
+            if len(text) > max_label:
+                text = text[: max_label - 3] + "..."
+            target = edge.target
+            if id(target) in ids and isinstance(target, InternalNode):
+                lines.append(
+                    f"{prefix}{connector}{text} -> see #{ids[id(target)]}"
+                )
+                continue
+            if isinstance(target, InternalNode):
+                ids[id(target)] = len(ids) + 1
+                marker = f" #{ids[id(target)]}" if _has_multiple_parents(fdd, target) else ""
+                lines.append(f"{prefix}{connector}{text} -> {label_of(target)}{marker}")
+                walk(target, child_prefix)
+            else:
+                lines.append(f"{prefix}{connector}{text} -> {label_of(target)}")
+
+    lines.insert(0, label_of(fdd.root))
+    walk(fdd.root, "")
+    return "\n".join(lines)
+
+
+def _has_multiple_parents(fdd: FDD, wanted: Node) -> bool:
+    count = 0
+    from repro.fdd.node import iter_nodes
+
+    for node in iter_nodes(fdd.root):
+        if isinstance(node, InternalNode):
+            for edge in node.edges:
+                if edge.target is wanted:
+                    count += 1
+                    if count > 1:
+                        return True
+    return False

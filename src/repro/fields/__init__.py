@@ -1,0 +1,23 @@
+"""Packet-field schemas and packets (Section 3.1 of the paper)."""
+
+from repro.fields.packet import Packet, PacketSampler, enumerate_universe
+from repro.fields.schema import (
+    Field,
+    FieldKind,
+    FieldSchema,
+    interface_schema,
+    standard_schema,
+    toy_schema,
+)
+
+__all__ = [
+    "Field",
+    "FieldKind",
+    "FieldSchema",
+    "Packet",
+    "PacketSampler",
+    "enumerate_universe",
+    "interface_schema",
+    "standard_schema",
+    "toy_schema",
+]

@@ -1,0 +1,16 @@
+"""Integer interval algebra: the value substrate for predicates and FDDs.
+
+The paper (Section 3.1) models every packet field as a finite interval of
+non-negative integers, and every rule predicate / FDD edge label as a set
+of such integers.  This package provides the two immutable value types the
+rest of the library is built on:
+
+* :class:`~repro.intervals.interval.Interval` — one closed interval.
+* :class:`~repro.intervals.intervalset.IntervalSet` — a canonical disjoint
+  union of intervals, with full set algebra.
+"""
+
+from repro.intervals.interval import Interval
+from repro.intervals.intervalset import IntervalSet, checkpoints
+
+__all__ = ["Interval", "IntervalSet", "checkpoints"]

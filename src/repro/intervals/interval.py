@@ -1,0 +1,139 @@
+"""Closed integer intervals.
+
+The paper models every packet field as "a variable whose domain ... is a
+finite interval of nonnegative integers" (Section 3.1).  All predicates,
+FDD edge labels, and discrepancy reports are therefore built from closed
+intervals ``[lo, hi]`` over non-negative integers.  :class:`Interval` is the
+immutable atom; :class:`repro.intervals.intervalset.IntervalSet` provides
+full set algebra over disjoint unions of these atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import IntervalError
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` of non-negative integers.
+
+    Instances are immutable, hashable, and totally ordered by ``(lo, hi)``,
+    which makes them usable directly as canonical-form components inside
+    :class:`~repro.intervals.intervalset.IntervalSet`.
+
+    >>> Interval(2, 5).contains(3)
+    True
+    >>> Interval(2, 5) & Interval(4, 9)
+    Interval(lo=4, hi=5)
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lo, int) or not isinstance(self.hi, int):
+            raise IntervalError(
+                f"interval endpoints must be integers, got ({self.lo!r}, {self.hi!r})"
+            )
+        if self.lo < 0:
+            raise IntervalError(f"interval low endpoint must be >= 0, got {self.lo}")
+        if self.lo > self.hi:
+            raise IntervalError(f"empty interval [{self.lo}, {self.hi}] is not allowed")
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.lo, self.hi + 1))
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def contains(self, value: int) -> bool:
+        """Return ``True`` if ``value`` lies inside the interval."""
+        return self.lo <= value <= self.hi
+
+    def is_single(self) -> bool:
+        """Return ``True`` if the interval holds exactly one integer."""
+        return self.lo == self.hi
+
+    # ------------------------------------------------------------------
+    # Relations with other intervals
+    # ------------------------------------------------------------------
+    def overlaps(self, other: "Interval") -> bool:
+        """Return ``True`` if the two intervals share at least one integer."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def touches(self, other: "Interval") -> bool:
+        """Return ``True`` if the intervals overlap **or** are adjacent.
+
+        Adjacent means their union is itself a single interval, e.g.
+        ``[2,4]`` touches ``[5,9]``.  Used when canonicalizing interval
+        sets: touching intervals coalesce.
+        """
+        return self.lo <= other.hi + 1 and other.lo <= self.hi + 1
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Return ``True`` if ``other`` is a (non-strict) subset of ``self``."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Return the intersection interval, or ``None`` when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def __and__(self, other: "Interval") -> "Interval | None":
+        return self.intersect(other)
+
+    def subtract(self, other: "Interval") -> tuple["Interval", ...]:
+        """Return ``self`` minus ``other`` as 0, 1, or 2 disjoint intervals.
+
+        >>> Interval(0, 9).subtract(Interval(3, 5))
+        (Interval(lo=0, hi=2), Interval(lo=6, hi=9))
+        """
+        if not self.overlaps(other):
+            return (self,)
+        pieces = []
+        if self.lo < other.lo:
+            pieces.append(Interval(self.lo, other.lo - 1))
+        if other.hi < self.hi:
+            pieces.append(Interval(other.hi + 1, self.hi))
+        return tuple(pieces)
+
+    def merge(self, other: "Interval") -> "Interval":
+        """Return the smallest interval covering both (they must touch)."""
+        if not self.touches(other):
+            raise IntervalError(f"cannot merge non-touching intervals {self} and {other}")
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def split_at(self, point: int) -> tuple["Interval", "Interval"]:
+        """Split into ``[lo, point]`` and ``[point+1, hi]``.
+
+        ``point`` must satisfy ``lo <= point < hi`` so both halves are
+        non-empty.  This is the primitive behind the shaping algorithm's
+        *edge splitting* operation (Section 4).
+        """
+        if not (self.lo <= point < self.hi):
+            raise IntervalError(
+                f"split point {point} must satisfy {self.lo} <= point < {self.hi}"
+            )
+        return Interval(self.lo, point), Interval(point + 1, self.hi)
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if self.lo == self.hi:
+            return str(self.lo)
+        return f"[{self.lo}, {self.hi}]"

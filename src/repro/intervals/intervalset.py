@@ -1,0 +1,313 @@
+"""Canonical sets of non-negative integers as disjoint interval unions.
+
+:class:`IntervalSet` is the workhorse value type of the whole library: rule
+predicates (Section 3.1), FDD edge labels (Section 2), and discrepancy
+regions are all interval sets.  The representation is a tuple of
+:class:`~repro.intervals.interval.Interval` objects that is *canonical*:
+sorted by low endpoint, pairwise disjoint, and with no two adjacent
+(touching) intervals left unmerged.  Canonical form makes equality,
+hashing, and the sweep-based set operations below both simple and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import IntervalError
+from repro.intervals.interval import Interval
+
+__all__ = ["IntervalSet"]
+
+
+def _canonicalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Sort, merge touching intervals, and return the canonical tuple."""
+    items = sorted(intervals, key=lambda iv: iv.lo)
+    if not items:
+        return ()
+    merged: list[Interval] = [items[0]]
+    for iv in items[1:]:
+        last = merged[-1]
+        if iv.lo <= last.hi + 1:
+            if iv.hi > last.hi:
+                merged[-1] = Interval(last.lo, iv.hi)
+        else:
+            merged.append(iv)
+    return tuple(merged)
+
+
+class IntervalSet:
+    """An immutable set of non-negative integers stored as disjoint intervals.
+
+    Construction accepts any iterable of :class:`Interval` or ``(lo, hi)``
+    pairs and canonicalizes it.  All set algebra (union ``|``, intersection
+    ``&``, difference ``-``, complement within a universe) runs in
+    ``O(k)``-ish sweeps over the interval lists.
+
+    >>> s = IntervalSet.of((0, 4), (10, 12))
+    >>> 3 in s, 7 in s
+    (True, False)
+    >>> str(s - IntervalSet.of((2, 10)))
+    '{[0, 1], [11, 12]}'
+    """
+
+    __slots__ = ("_intervals", "_hash")
+
+    def __init__(self, intervals: Iterable[Interval | tuple[int, int]] = ()):
+        normalized = []
+        for iv in intervals:
+            if isinstance(iv, Interval):
+                normalized.append(iv)
+            else:
+                lo, hi = iv
+                normalized.append(Interval(lo, hi))
+        self._intervals: tuple[Interval, ...] = _canonicalize(normalized)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *spans: tuple[int, int] | int) -> "IntervalSet":
+        """Build a set from ``(lo, hi)`` pairs and/or single integers.
+
+        >>> str(IntervalSet.of(5, (8, 10)))
+        '{5, [8, 10]}'
+        """
+        intervals = []
+        for span in spans:
+            if isinstance(span, int):
+                intervals.append(Interval(span, span))
+            else:
+                intervals.append(Interval(*span))
+        return cls(intervals)
+
+    @classmethod
+    def single(cls, value: int) -> "IntervalSet":
+        """The singleton set ``{value}``."""
+        return cls([Interval(value, value)])
+
+    @classmethod
+    def span(cls, lo: int, hi: int) -> "IntervalSet":
+        """The full interval ``[lo, hi]`` as a one-interval set."""
+        return cls([Interval(lo, hi)])
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set."""
+        return _EMPTY
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> "IntervalSet":
+        """Build a set from arbitrary individual integers."""
+        return cls([Interval(v, v) for v in values])
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The canonical tuple of disjoint, sorted, merged intervals."""
+        return self._intervals
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def is_empty(self) -> bool:
+        """Return ``True`` if the set contains no integers."""
+        return not self._intervals
+
+    def __len__(self) -> int:
+        """Number of component intervals (not the cardinality)."""
+        return len(self._intervals)
+
+    def count(self) -> int:
+        """Total number of integers in the set (the set's cardinality)."""
+        return sum(len(iv) for iv in self._intervals)
+
+    def __contains__(self, value: int) -> bool:
+        # Binary search over the sorted disjoint intervals.
+        lo, hi = 0, len(self._intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            iv = self._intervals[mid]
+            if value < iv.lo:
+                hi = mid - 1
+            elif value > iv.hi:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[int]:
+        for iv in self._intervals:
+            yield from iv
+
+    def min(self) -> int:
+        """Smallest member; raises :class:`IntervalError` if empty."""
+        if not self._intervals:
+            raise IntervalError("empty interval set has no minimum")
+        return self._intervals[0].lo
+
+    def max(self) -> int:
+        """Largest member; raises :class:`IntervalError` if empty."""
+        if not self._intervals:
+            raise IntervalError("empty interval set has no maximum")
+        return self._intervals[-1].hi
+
+    def is_single_interval(self) -> bool:
+        """Return ``True`` if the set is one contiguous interval."""
+        return len(self._intervals) == 1
+
+    def sample(self, rng) -> int:
+        """Return a uniformly random member using ``rng`` (``random.Random``).
+
+        Used by property tests and the packet samplers to probe rule and
+        discrepancy regions.
+        """
+        total = self.count()
+        if total == 0:
+            raise IntervalError("cannot sample from an empty interval set")
+        idx = rng.randrange(total)
+        for iv in self._intervals:
+            size = len(iv)
+            if idx < size:
+                return iv.lo + idx
+            idx -= size
+        raise AssertionError("unreachable: sample index exceeded cardinality")
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Return the set union."""
+        if not self._intervals:
+            return other
+        if not other._intervals:
+            return self
+        return IntervalSet(self._intervals + other._intervals)
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        """Return the set intersection via a two-pointer sweep."""
+        a, b = self._intervals, other._intervals
+        i = j = 0
+        out: list[Interval] = []
+        while i < len(a) and j < len(b):
+            lo = max(a[i].lo, b[j].lo)
+            hi = min(a[i].hi, b[j].hi)
+            if lo <= hi:
+                out.append(Interval(lo, hi))
+            if a[i].hi < b[j].hi:
+                i += 1
+            else:
+                j += 1
+        result = IntervalSet.__new__(IntervalSet)
+        result._intervals = tuple(out)
+        result._hash = None
+        return result
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        """Return ``self`` minus ``other`` via a sweep over both lists."""
+        if not other._intervals or not self._intervals:
+            return self
+        out: list[Interval] = []
+        b = other._intervals
+        j = 0
+        for iv in self._intervals:
+            lo = iv.lo
+            # Advance past subtrahend intervals entirely below the cursor.
+            while j < len(b) and b[j].hi < lo:
+                j += 1
+            k = j
+            while k < len(b) and b[k].lo <= iv.hi:
+                if b[k].lo > lo:
+                    out.append(Interval(lo, b[k].lo - 1))
+                lo = max(lo, b[k].hi + 1)
+                if lo > iv.hi:
+                    break
+                k += 1
+            if lo <= iv.hi:
+                out.append(Interval(lo, iv.hi))
+        result = IntervalSet.__new__(IntervalSet)
+        result._intervals = tuple(out)
+        result._hash = None
+        return result
+
+    def complement(self, universe: "IntervalSet") -> "IntervalSet":
+        """Return ``universe - self`` (complement within a field's domain)."""
+        return universe.subtract(self)
+
+    def __or__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.union(other)
+
+    def __and__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.intersect(other)
+
+    def __sub__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.subtract(other)
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def issubset(self, other: "IntervalSet") -> bool:
+        """Return ``True`` if every member of ``self`` is in ``other``."""
+        j = 0
+        b = other._intervals
+        for iv in self._intervals:
+            while j < len(b) and b[j].hi < iv.lo:
+                j += 1
+            if j == len(b) or not b[j].contains_interval(iv):
+                return False
+        return True
+
+    def isdisjoint(self, other: "IntervalSet") -> bool:
+        """Return ``True`` if the sets share no integers."""
+        a, b = self._intervals, other._intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i].overlaps(b[j]):
+                return False
+            if a[i].hi < b[j].hi:
+                i += 1
+            else:
+                j += 1
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._intervals)
+        return self._hash
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if not self._intervals:
+            return "{}"
+        return "{" + ", ".join(str(iv) for iv in self._intervals) + "}"
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"({iv.lo}, {iv.hi})" for iv in self._intervals)
+        return f"IntervalSet.of({spans})"
+
+
+def checkpoints(sets: Sequence[IntervalSet]) -> list[int]:
+    """Return all interval endpoints appearing in ``sets``, sorted, deduped.
+
+    Useful for building the common refinement of several interval sets;
+    exposed for the shaping and aggregation code.
+    """
+    points: set[int] = set()
+    for s in sets:
+        for iv in s.intervals:
+            points.add(iv.lo)
+            points.add(iv.hi)
+    return sorted(points)
+
+
+#: Shared immutable empty set (IntervalSet is immutable, so sharing is safe).
+_EMPTY = IntervalSet(())

@@ -1,0 +1,47 @@
+"""The firewall policy model (Section 3.1 of the paper).
+
+Rules are ``predicate -> decision``; a firewall is an ordered,
+comprehensive rule sequence evaluated first-match.  A text format with a
+parser/serializer round trip makes policies storable and diffable.
+"""
+
+from repro.policy.export import to_cisco_acl, to_iptables
+from repro.policy.imports import from_cisco_acl, from_iptables
+from repro.policy.decision import (
+    ACCEPT,
+    ACCEPT_LOG,
+    DISCARD,
+    DISCARD_LOG,
+    STANDARD_DECISIONS,
+    Decision,
+    parse_decision,
+)
+from repro.policy.firewall import Firewall
+from repro.policy.parser import load, loads, parse_rule
+from repro.policy.predicate import Predicate
+from repro.policy.rule import Rule
+from repro.policy.serializer import dump, dumps, rule_to_text, to_table
+
+__all__ = [
+    "ACCEPT",
+    "ACCEPT_LOG",
+    "DISCARD",
+    "DISCARD_LOG",
+    "Decision",
+    "Firewall",
+    "Predicate",
+    "Rule",
+    "STANDARD_DECISIONS",
+    "dump",
+    "from_cisco_acl",
+    "from_iptables",
+    "dumps",
+    "load",
+    "loads",
+    "parse_decision",
+    "parse_rule",
+    "rule_to_text",
+    "to_cisco_acl",
+    "to_iptables",
+    "to_table",
+]

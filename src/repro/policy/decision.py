@@ -1,0 +1,94 @@
+"""Firewall decisions.
+
+The paper's decision set ``DS`` contains at least *accept* and *discard*;
+"most firewall software supports more than two decisions such as accept,
+accept and log, discard, and discard and log" (Section 2), and the diverse
+design method "can support any number of decisions".  :class:`Decision` is
+therefore an open value type — the four standard decisions are provided as
+interned constants, and applications may create their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Decision",
+    "ACCEPT",
+    "DISCARD",
+    "ACCEPT_LOG",
+    "DISCARD_LOG",
+    "STANDARD_DECISIONS",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """A firewall decision: a name plus whether matching traffic passes.
+
+    ``permits`` records the security-relevant half of the decision (does
+    the packet get through?) independently of options like logging, which
+    the impact classifier (``repro.analysis.impact``) uses to distinguish
+    "newly allowed" from "newly blocked" traffic.
+    """
+
+    name: str
+    permits: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def short(self) -> str:
+        """One-letter code used in compact rule rendering (paper figures)."""
+        return "a" if self.permits else "d"
+
+
+#: Accept the packet.
+ACCEPT = Decision("accept", True)
+
+#: Discard the packet.
+DISCARD = Decision("discard", False)
+
+#: Accept the packet and log it.
+ACCEPT_LOG = Decision("accept+log", True)
+
+#: Discard the packet and log it.
+DISCARD_LOG = Decision("discard+log", False)
+
+#: The four decisions named in Section 2.
+STANDARD_DECISIONS = (ACCEPT, DISCARD, ACCEPT_LOG, DISCARD_LOG)
+
+_BY_NAME = {
+    "accept": ACCEPT,
+    "a": ACCEPT,
+    "allow": ACCEPT,
+    "permit": ACCEPT,
+    "pass": ACCEPT,
+    "discard": DISCARD,
+    "d": DISCARD,
+    "deny": DISCARD,
+    "drop": DISCARD,
+    "block": DISCARD,
+    "reject": DISCARD,
+    "accept+log": ACCEPT_LOG,
+    "accept_log": ACCEPT_LOG,
+    "al": ACCEPT_LOG,
+    "discard+log": DISCARD_LOG,
+    "discard_log": DISCARD_LOG,
+    "dl": DISCARD_LOG,
+}
+
+
+def parse_decision(text: str) -> Decision:
+    """Parse a decision keyword (``accept``, ``deny``, ``discard+log``, ...).
+
+    Unknown names raise ``KeyError`` with the list of accepted spellings.
+    """
+    key = text.strip().lower()
+    try:
+        return _BY_NAME[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown decision {text!r}; accepted: {sorted(set(_BY_NAME))}"
+        ) from None

@@ -1,0 +1,254 @@
+"""Exporters to device-style configuration formats.
+
+"Most existing firewall devices take a sequence of rules as their
+configuration" (Section 6.1) — the final step of diverse design is
+deploying the agreed rule list on a real device.  This module renders a
+:class:`~repro.policy.firewall.Firewall` over the standard five-field
+schema in two widely recognized styles:
+
+* :func:`to_iptables` — ``iptables``-restore style append commands;
+* :func:`to_cisco_acl` — Cisco extended-ACL style statements (with
+  wildcard masks).
+
+Both are best-effort textual renderings, not vendor-validated configs:
+they exist so resolved policies can be eyeballed in a familiar syntax
+and diffed against production exports.  Conjuncts a format cannot
+express natively (multi-interval sets, non-CIDR ranges) are expanded into
+several lines, preserving first-match semantics exactly — each expansion
+of one rule carries the same decision, so relative order within the
+expansion is irrelevant.
+"""
+
+from __future__ import annotations
+
+from repro.addr import int_to_ip, intervalset_to_prefixes
+from repro.exceptions import PolicyError
+from repro.fields import FieldKind
+from repro.intervals import Interval, IntervalSet
+from repro.policy.firewall import Firewall
+from repro.policy.rule import Rule
+
+__all__ = ["to_iptables", "to_cisco_acl"]
+
+
+def _require_standard_schema(firewall: Firewall, format_name: str) -> None:
+    kinds = [f.kind for f in firewall.schema]
+    expected = [
+        FieldKind.IP,
+        FieldKind.IP,
+        FieldKind.PORT,
+        FieldKind.PORT,
+        FieldKind.PROTOCOL,
+    ]
+    if kinds != expected:
+        raise PolicyError(
+            f"{format_name} export requires the standard 5-field schema"
+            " (src_ip, dst_ip, src_port, dst_port, protocol);"
+            f" got fields {[f.name for f in firewall.schema]}"
+        )
+
+
+def _port_atoms(values: IntervalSet, domain: IntervalSet) -> list[Interval | None]:
+    """Port intervals to emit; ``None`` means "unconstrained"."""
+    if values == domain:
+        return [None]
+    return list(values.intervals)
+
+
+_PROTO_NAMES = {1: "icmp", 6: "tcp", 17: "udp"}
+
+
+def _proto_atoms(values: IntervalSet, domain: IntervalSet) -> list[int | None]:
+    if values == domain:
+        return [None]
+    atoms: list[int | None] = []
+    for iv in values.intervals:
+        atoms.extend(range(iv.lo, iv.hi + 1))
+    return atoms
+
+
+# ----------------------------------------------------------------------
+# iptables
+# ----------------------------------------------------------------------
+
+
+def to_iptables(
+    firewall: Firewall,
+    *,
+    chain: str = "FORWARD",
+    table_header: bool = True,
+) -> str:
+    """Render as iptables-restore style ``-A`` commands.
+
+    The final catch-all rule (if any) becomes the chain policy; every
+    other rule becomes one or more ``-A <chain>`` lines (ports only
+    attach to TCP/UDP matches, mirroring iptables' own restriction: a
+    port-constrained rule whose protocol is unconstrained expands into a
+    TCP and a UDP line).
+
+    >>> from repro.synth import SyntheticFirewallGenerator
+    >>> text = to_iptables(SyntheticFirewallGenerator(seed=1).generate(5))
+    >>> text.startswith("*filter")
+    True
+    """
+    _require_standard_schema(firewall, "iptables")
+    schema = firewall.schema
+    port_domain = schema[2].domain_set
+    proto_domain = schema[4].domain_set
+
+    rules = list(firewall.rules)
+    policy = "ACCEPT"
+    if rules and rules[-1].predicate.is_match_all():
+        policy = "ACCEPT" if rules[-1].decision.permits else "DROP"
+        rules = rules[:-1]
+
+    lines: list[str] = []
+    if table_header:
+        lines.append("*filter")
+        lines.append(f":{chain} {policy} [0:0]")
+    for rule in rules:
+        lines.extend(_iptables_rule_lines(rule, chain, port_domain, proto_domain))
+    if table_header:
+        lines.append("COMMIT")
+    return "\n".join(lines) + "\n"
+
+
+def _iptables_rule_lines(
+    rule: Rule, chain: str, port_domain: IntervalSet, proto_domain: IntervalSet
+) -> list[str]:
+    sets = rule.predicate.sets
+    target = "ACCEPT" if rule.decision.permits else "DROP"
+    log = "+log" in rule.decision.name
+    comment = f' -m comment --comment "{rule.comment}"' if rule.comment else ""
+
+    src_prefixes = (
+        [None] if sets[0] == rule.schema[0].domain_set else intervalset_to_prefixes(sets[0])
+    )
+    dst_prefixes = (
+        [None] if sets[1] == rule.schema[1].domain_set else intervalset_to_prefixes(sets[1])
+    )
+    sports = _port_atoms(sets[2], port_domain)
+    dports = _port_atoms(sets[3], port_domain)
+    protos = _proto_atoms(sets[4], proto_domain)
+
+    ports_constrained = sports != [None] or dports != [None]
+    lines: list[str] = []
+    for proto in protos:
+        proto_names: list[str]
+        if proto is None:
+            # iptables attaches --sport/--dport to a -p match only.
+            proto_names = ["tcp", "udp"] if ports_constrained else [""]
+        else:
+            proto_names = [_PROTO_NAMES.get(proto, str(proto))]
+        for proto_name in proto_names:
+            if ports_constrained and proto_name not in ("tcp", "udp"):
+                # Ports are meaningless for this protocol; skip the match
+                # rather than emit an invalid line.
+                continue
+            for src in src_prefixes:
+                for dst in dst_prefixes:
+                    for sport in sports:
+                        for dport in dports:
+                            parts = [f"-A {chain}"]
+                            if proto_name:
+                                parts.append(f"-p {proto_name}")
+                            if src is not None:
+                                parts.append(f"-s {src}")
+                            if dst is not None:
+                                parts.append(f"-d {dst}")
+                            if sport is not None:
+                                parts.append(_port_match("--sport", sport))
+                            if dport is not None:
+                                parts.append(_port_match("--dport", dport))
+                            suffix = comment
+                            if log:
+                                lines.append(" ".join(parts) + suffix + " -j LOG")
+                            lines.append(" ".join(parts) + suffix + f" -j {target}")
+    return lines
+
+
+def _port_match(flag: str, interval: Interval) -> str:
+    if interval.is_single():
+        return f"{flag} {interval.lo}"
+    return f"{flag} {interval.lo}:{interval.hi}"
+
+
+# ----------------------------------------------------------------------
+# Cisco extended ACL
+# ----------------------------------------------------------------------
+
+
+def to_cisco_acl(firewall: Firewall, *, name: str | None = None) -> str:
+    """Render as a Cisco extended named ACL.
+
+    Prefixes become address/wildcard-mask pairs; single hosts use
+    ``host``; the whole address space uses ``any``.  Port intervals
+    render as ``eq``/``range``.  Protocol ``any`` renders as ``ip``
+    (ports are then dropped from that line only if unconstrained;
+    otherwise the rule expands into tcp and udp lines, as on real
+    devices).
+
+    >>> from repro.synth import team_a_firewall  # doctest: +SKIP
+    """
+    _require_standard_schema(firewall, "Cisco ACL")
+    acl_name = name or (firewall.name.replace(" ", "_") or "FIREWALL")
+    lines = [f"ip access-list extended {acl_name}"]
+    for rule in firewall.rules:
+        lines.extend(_cisco_rule_lines(rule))
+    return "\n".join(lines) + "\n"
+
+
+def _cisco_rule_lines(rule: Rule) -> list[str]:
+    sets = rule.predicate.sets
+    action = "permit" if rule.decision.permits else "deny"
+    log = " log" if "+log" in rule.decision.name else ""
+    remark = [f" remark {rule.comment}"] if rule.comment else []
+
+    schema = rule.schema
+    srcs = _cisco_addr_atoms(sets[0], schema[0].domain_set)
+    dsts = _cisco_addr_atoms(sets[1], schema[1].domain_set)
+    sports = _port_atoms(sets[2], schema[2].domain_set)
+    dports = _port_atoms(sets[3], schema[3].domain_set)
+    ports_constrained = sports != [None] or dports != [None]
+    protos = _proto_atoms(sets[4], schema[4].domain_set)
+
+    lines = list(remark)
+    for proto in protos:
+        if proto is None:
+            proto_names = ["tcp", "udp"] if ports_constrained else ["ip"]
+        else:
+            proto_names = [_PROTO_NAMES.get(proto, str(proto))]
+        for proto_name in proto_names:
+            for src in srcs:
+                for dst in dsts:
+                    for sport in sports:
+                        for dport in dports:
+                            parts = [f" {action} {proto_name} {src}"]
+                            if sport is not None and proto_name in ("tcp", "udp"):
+                                parts.append(_cisco_port(sport))
+                            parts.append(dst)
+                            if dport is not None and proto_name in ("tcp", "udp"):
+                                parts.append(_cisco_port(dport))
+                            lines.append(" ".join(parts) + log)
+    return lines
+
+
+def _cisco_addr_atoms(values: IntervalSet, domain: IntervalSet) -> list[str]:
+    if values == domain:
+        return ["any"]
+    atoms = []
+    for prefix in intervalset_to_prefixes(values):
+        if prefix.length == 32:
+            atoms.append(f"host {int_to_ip(prefix.network)}")
+        elif prefix.length == 0:
+            atoms.append("any")
+        else:
+            wildcard = (1 << (32 - prefix.length)) - 1
+            atoms.append(f"{int_to_ip(prefix.network)} {int_to_ip(wildcard)}")
+    return atoms
+
+
+def _cisco_port(interval: Interval) -> str:
+    if interval.is_single():
+        return f"eq {interval.lo}"
+    return f"range {interval.lo} {interval.hi}"

@@ -1,0 +1,26 @@
+"""Stateful firewalls (the model of [11], on the stateless engine).
+
+A stateful firewall = a state table (:class:`ConnectionTable`) + a
+stateless rule section over the packet fields plus a synthetic ``state``
+field.  Because the stateless section is an ordinary
+:class:`repro.policy.Firewall`, every analysis in the library —
+comparison, change impact, queries, redundancy — applies to stateful
+policies unchanged.
+"""
+
+from repro.stateful.firewall import (
+    STATE_ESTABLISHED,
+    STATE_NEW,
+    StatefulFirewall,
+    stateful_schema,
+)
+from repro.stateful.table import ConnectionTable, FlowKey
+
+__all__ = [
+    "ConnectionTable",
+    "FlowKey",
+    "STATE_ESTABLISHED",
+    "STATE_NEW",
+    "StatefulFirewall",
+    "stateful_schema",
+]

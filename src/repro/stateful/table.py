@@ -1,0 +1,108 @@
+"""The state table of a stateful firewall.
+
+Following *A Model of Stateful Firewalls* [11] (Gouda & Liu, DSN 2005,
+cited in Sections 1.4/9): a stateful firewall augments a stateless rule
+section with a **state table** holding tuples of previously seen traffic;
+each arriving packet is first checked against the table, and the result
+feeds the stateless section as an extra packet field.
+
+:class:`ConnectionTable` stores 5-tuple entries with expiry timestamps
+and a capacity bound (oldest-expiry eviction).  Time is explicit — the
+caller passes ``now`` — so behaviour is deterministic and testable; no
+wall clocks anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlowKey", "ConnectionTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class FlowKey:
+    """A directed flow identity: the classic 5-tuple."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def reversed(self) -> "FlowKey":
+        """The reply direction of this flow."""
+        return FlowKey(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            protocol=self.protocol,
+        )
+
+    @classmethod
+    def of_packet(cls, packet) -> "FlowKey":
+        """Build from a standard-schema packet tuple (first five fields)."""
+        return cls(*packet[:5])
+
+
+class ConnectionTable:
+    """Expiring, capacity-bounded set of tracked flows.
+
+    ``lookup`` is exact-match on the directed 5-tuple; callers decide
+    whether to probe the forward key, the reverse key, or both (the
+    stateful firewall checks the *reverse* of an arriving packet to
+    recognize return traffic of a tracked connection).
+    """
+
+    def __init__(self, *, capacity: int = 65536, ttl: float = 120.0):
+        if capacity < 1:
+            raise ValueError("state table capacity must be positive")
+        if ttl <= 0:
+            raise ValueError("state ttl must be positive")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._expires: dict[FlowKey, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._expires)
+
+    def insert(self, key: FlowKey, now: float) -> None:
+        """Track a flow (refreshes the expiry if already present).
+
+        At capacity, the entry with the earliest expiry is evicted — the
+        flow most likely already dead.
+        """
+        if key not in self._expires and len(self._expires) >= self.capacity:
+            victim = min(self._expires, key=self._expires.__getitem__)
+            del self._expires[victim]
+        self._expires[key] = now + self.ttl
+
+    def lookup(self, key: FlowKey, now: float) -> bool:
+        """True if ``key`` is tracked and unexpired; refreshes the entry.
+
+        Refreshing on hit models the keep-alive behaviour of real
+        connection tracking: active flows never expire.
+        """
+        expiry = self._expires.get(key)
+        if expiry is None:
+            return False
+        if expiry < now:
+            del self._expires[key]
+            return False
+        self._expires[key] = now + self.ttl
+        return True
+
+    def remove(self, key: FlowKey) -> bool:
+        """Stop tracking a flow; returns whether it was present."""
+        return self._expires.pop(key, None) is not None
+
+    def expire(self, now: float) -> int:
+        """Drop all entries whose expiry has passed; returns the count."""
+        dead = [key for key, expiry in self._expires.items() if expiry < now]
+        for key in dead:
+            del self._expires[key]
+        return len(dead)
+
+    def tracked_flows(self) -> list[FlowKey]:
+        """A snapshot of the currently tracked flow keys."""
+        return list(self._expires)

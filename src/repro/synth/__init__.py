@@ -1,0 +1,39 @@
+"""Workload generation: synthetic firewalls, perturbations, canned policies."""
+
+from repro.synth.generator import (
+    GeneratorConfig,
+    SyntheticFirewallGenerator,
+    generate_firewall_pair,
+)
+from repro.synth.perturb import PerturbationRecord, flip_decision, perturb
+from repro.synth.traces import BoundaryTraceGenerator, FlowTraceGenerator, TimedPacket
+from repro.synth.workloads import (
+    average_42,
+    campus_87,
+    mail_example_schema,
+    paper_resolution_chooser,
+    resolved_reference_firewall,
+    team_a_firewall,
+    team_b_firewall,
+    university_661,
+)
+
+__all__ = [
+    "BoundaryTraceGenerator",
+    "FlowTraceGenerator",
+    "GeneratorConfig",
+    "PerturbationRecord",
+    "SyntheticFirewallGenerator",
+    "average_42",
+    "campus_87",
+    "flip_decision",
+    "generate_firewall_pair",
+    "mail_example_schema",
+    "paper_resolution_chooser",
+    "perturb",
+    "resolved_reference_firewall",
+    "team_a_firewall",
+    "team_b_firewall",
+    "TimedPacket",
+    "university_661",
+]

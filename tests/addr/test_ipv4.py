@@ -1,0 +1,44 @@
+"""Unit tests for IPv4 parsing and formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.addr import IPV4_MAX, int_to_ip, ip_to_int, is_valid_ip
+from repro.exceptions import AddressError
+
+
+class TestParsing:
+    def test_basic(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == IPV4_MAX
+        assert ip_to_int("192.168.0.1") == 0xC0A80001
+
+    def test_whitespace_tolerated(self):
+        assert ip_to_int(" 10.0.0.1 ") == 0x0A000001
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-4", "01.2.3.4"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            ip_to_int(bad)
+        assert not is_valid_ip(bad)
+
+
+class TestFormatting:
+    def test_basic(self):
+        assert int_to_ip(0) == "0.0.0.0"
+        assert int_to_ip(IPV4_MAX) == "255.255.255.255"
+        assert int_to_ip(0xC0A80001) == "192.168.0.1"
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressError):
+            int_to_ip(IPV4_MAX + 1)
+        with pytest.raises(AddressError):
+            int_to_ip(-1)
+
+    @given(st.integers(min_value=0, max_value=IPV4_MAX))
+    def test_round_trip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value

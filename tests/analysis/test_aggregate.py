@@ -1,0 +1,72 @@
+"""Tests for discrepancy aggregation (slivers -> maximal regions)."""
+
+from hypothesis import given, settings
+
+from repro.analysis import Discrepancy, aggregate_discrepancies
+from repro.fdd import compare_firewalls
+from repro.fields import toy_schema
+from repro.intervals import IntervalSet
+from repro.policy import ACCEPT, ACCEPT_LOG, DISCARD
+
+from tests.conftest import covered_packets, firewalls
+
+SCHEMA = toy_schema(9, 9)
+
+
+def cell(f1, f2, a=ACCEPT, b=DISCARD):
+    return Discrepancy(SCHEMA, (IntervalSet.of(f1), IntervalSet.of(f2)), a, b)
+
+
+class TestAggregation:
+    def test_empty(self):
+        assert aggregate_discrepancies([]) == []
+
+    def test_merges_along_one_field(self):
+        merged = aggregate_discrepancies([cell((0, 4), (2, 3)), cell((5, 9), (2, 3))])
+        assert len(merged) == 1
+        assert merged[0].sets[0] == IntervalSet.span(0, 9)
+
+    def test_merges_non_adjacent_slivers(self):
+        # IntervalSets union even with gaps; a box differing only in F1
+        # merges into one region with a two-interval F1 set.
+        merged = aggregate_discrepancies([cell((0, 1), (2, 3)), cell((8, 9), (2, 3))])
+        assert len(merged) == 1
+        assert merged[0].sets[0] == IntervalSet.of((0, 1), (8, 9))
+
+    def test_does_not_merge_across_decision_pairs(self):
+        merged = aggregate_discrepancies(
+            [cell((0, 4), (2, 3)), cell((5, 9), (2, 3), a=ACCEPT_LOG)]
+        )
+        assert len(merged) == 2
+
+    def test_does_not_merge_two_field_difference(self):
+        merged = aggregate_discrepancies([cell((0, 4), (0, 1)), cell((5, 9), (2, 3))])
+        assert len(merged) == 2
+
+    def test_cascade_merge(self):
+        # Four quadrant cells collapse into one full box (two passes).
+        cells = [
+            cell((0, 4), (0, 4)),
+            cell((5, 9), (0, 4)),
+            cell((0, 4), (5, 9)),
+            cell((5, 9), (5, 9)),
+        ]
+        merged = aggregate_discrepancies(cells)
+        assert len(merged) == 1
+        assert merged[0].size() == 100
+
+    def test_deterministic_order(self):
+        cells = [cell((5, 9), (0, 1)), cell((0, 1), (5, 9))]
+        once = aggregate_discrepancies(cells)
+        twice = aggregate_discrepancies(list(reversed(cells)))
+        assert [d.sets for d in once] == [d.sets for d in twice]
+
+    @given(firewalls(SCHEMA, max_rules=4), firewalls(SCHEMA, max_rules=4))
+    @settings(max_examples=30, deadline=None)
+    def test_aggregation_preserves_coverage(self, fw_a, fw_b):
+        raw = compare_firewalls(fw_a, fw_b)
+        merged = aggregate_discrepancies(raw)
+        assert covered_packets(merged) == covered_packets(raw)
+        assert len(merged) <= len(raw)
+        # Regions stay disjoint: total size equals covered cardinality.
+        assert sum(d.size() for d in merged) == len(covered_packets(merged))

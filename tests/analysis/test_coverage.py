@@ -1,0 +1,66 @@
+"""Tests for rule coverage analysis."""
+
+from repro.analysis import coverage_report, measure_coverage
+from repro.fields import toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+
+SCHEMA = toy_schema(9, 9)
+
+
+def r(decision, comment="", **conjuncts):
+    return Rule.build(SCHEMA, decision, comment, **conjuncts)
+
+
+FIREWALL = Firewall(
+    SCHEMA,
+    [
+        r(ACCEPT, "front", F1="0-4"),
+        r(DISCARD, "shadowed", F1="2-3"),
+        r(DISCARD, "back"),
+    ],
+    name="cov",
+)
+
+
+class TestMeasure:
+    def test_first_match_counting(self):
+        hits = measure_coverage(FIREWALL, [(0, 0), (3, 0), (9, 9)])
+        assert hits == [2, 0, 1]
+
+    def test_empty_trace(self):
+        assert measure_coverage(FIREWALL, []) == [0, 0, 0]
+
+
+class TestReport:
+    def test_shares(self):
+        report = coverage_report(FIREWALL, [(0, 0), (1, 0), (9, 9), (8, 8)])
+        assert report.total_packets == 4
+        assert report.rules[0].share == 0.5
+        assert report.rules[2].share == 0.5
+
+    def test_dead_rule_flagged(self):
+        report = coverage_report(FIREWALL, [(0, 0)])
+        assert report.rules[1].semantically_dead
+        assert [c.index for c in report.dead_rules()] == [1]
+
+    def test_unused_excludes_catchall(self):
+        report = coverage_report(FIREWALL, [(0, 0)])
+        unused = {c.index for c in report.unused_rules()}
+        assert 1 in unused
+        assert 2 not in unused  # the catch-all is not "unused"
+
+    def test_render(self):
+        report = coverage_report(FIREWALL, [(0, 0), (9, 9)])
+        text = report.render()
+        assert "'cov'" in text and "r1 (front)" in text
+        assert "[DEAD]" in text
+        assert "semantically unreachable" in text
+
+    def test_with_boundary_traces(self):
+        from repro.synth import BoundaryTraceGenerator, SyntheticFirewallGenerator
+
+        fw = SyntheticFirewallGenerator(seed=11).generate(25)
+        trace = BoundaryTraceGenerator(fw, seed=12).packets(500)
+        report = coverage_report(fw, trace)
+        assert report.total_packets == 500
+        assert sum(c.hits for c in report.rules) == 500

@@ -1,0 +1,124 @@
+"""Tests for semantic equivalence and redundancy removal [19]."""
+
+from hypothesis import given, settings
+
+from repro.analysis import (
+    disputed_packet_count,
+    equivalent,
+    find_redundant_rules,
+    find_upward_redundant,
+    remove_redundant_rules,
+)
+from repro.fields import enumerate_universe, toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+
+from tests.conftest import firewalls
+
+SCHEMA = toy_schema(9, 9)
+
+
+def r(decision, **conjuncts):
+    return Rule.build(SCHEMA, decision, **conjuncts)
+
+
+class TestEquivalence:
+    def test_reordered_disjoint_rules_equivalent(self):
+        fw_a = Firewall(SCHEMA, [r(ACCEPT, F1="0-3"), r(DISCARD, F1="4-9")])
+        fw_b = Firewall(SCHEMA, [r(DISCARD, F1="4-9"), r(ACCEPT, F1="0-3")])
+        assert equivalent(fw_a, fw_b)
+
+    def test_different_policies_not_equivalent(self):
+        fw_a = Firewall(SCHEMA, [r(ACCEPT)])
+        fw_b = Firewall(SCHEMA, [r(DISCARD, F1="0"), r(ACCEPT)])
+        assert not equivalent(fw_a, fw_b)
+        assert disputed_packet_count(fw_a, fw_b) == 10
+
+    @given(firewalls(SCHEMA, max_rules=4))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_reflexive(self, firewall):
+        assert equivalent(firewall, firewall)
+
+    @given(firewalls(SCHEMA, max_rules=3), firewalls(SCHEMA, max_rules=3))
+    @settings(max_examples=25, deadline=None)
+    def test_disputed_count_matches_brute_force(self, fw_a, fw_b):
+        brute = sum(
+            1 for p in enumerate_universe(SCHEMA) if fw_a(p) != fw_b(p)
+        )
+        assert disputed_packet_count(fw_a, fw_b) == brute
+
+
+class TestUpwardRedundancy:
+    def test_fully_shadowed_rule(self):
+        firewall = Firewall(
+            SCHEMA, [r(ACCEPT, F1="0-5"), r(DISCARD, F1="2-3"), r(DISCARD)]
+        )
+        assert find_upward_redundant(firewall) == [1]
+
+    def test_partially_shadowed_not_flagged(self):
+        firewall = Firewall(
+            SCHEMA, [r(ACCEPT, F1="0-5"), r(DISCARD, F1="4-7"), r(DISCARD)]
+        )
+        assert find_upward_redundant(firewall) == []
+
+    def test_shadowed_by_union_of_rules(self):
+        # No single earlier rule covers rule 3, but together they do —
+        # and rules 1+2 already cover the whole universe, so the final
+        # catch-all is unreachable too.
+        firewall = Firewall(
+            SCHEMA,
+            [
+                r(ACCEPT, F1="0-4"),
+                r(ACCEPT, F1="5-9"),
+                r(DISCARD, F1="2-7"),
+                r(DISCARD),
+            ],
+        )
+        assert find_upward_redundant(firewall) == [2, 3]
+
+
+class TestCompleteRedundancy:
+    def test_downward_redundant_detected(self):
+        # Rule 1 repeats what the catch-all would decide anyway.
+        firewall = Firewall(SCHEMA, [r(ACCEPT, F1="0-3"), r(ACCEPT)])
+        assert find_redundant_rules(firewall) == [0]
+
+    def test_upward_redundant_detected(self):
+        firewall = Firewall(
+            SCHEMA, [r(ACCEPT, F1="0-5"), r(DISCARD, F1="2-3"), r(DISCARD)]
+        )
+        assert 1 in find_redundant_rules(firewall)
+
+    def test_catchall_protected(self):
+        firewall = Firewall(SCHEMA, [r(ACCEPT, F1="0-3"), r(DISCARD)])
+        assert 1 not in find_redundant_rules(firewall)
+
+
+class TestRemoveRedundant:
+    def test_removes_to_fixpoint(self):
+        firewall = Firewall(
+            SCHEMA,
+            [
+                r(ACCEPT, F1="0-3"),
+                r(ACCEPT, F1="2-3"),  # shadowed
+                r(ACCEPT, F1="0-5"),  # covers rule 1 too
+                r(DISCARD),
+            ],
+        )
+        slim = remove_redundant_rules(firewall)
+        assert equivalent(slim, firewall)
+        assert len(slim) == 2
+
+    def test_nothing_to_remove(self):
+        firewall = Firewall(SCHEMA, [r(ACCEPT, F1="0-3"), r(DISCARD)])
+        assert remove_redundant_rules(firewall) == firewall
+
+    @given(firewalls(SCHEMA, max_rules=5, include_log=True))
+    @settings(max_examples=20, deadline=None)
+    def test_removal_preserves_semantics(self, firewall):
+        slim = remove_redundant_rules(firewall)
+        assert len(slim) <= len(firewall)
+        assert equivalent(slim, firewall)
+        # And the result is itself irredundant (fixpoint).
+        assert not [
+            i for i in find_redundant_rules(slim)
+        ], "fixpoint must have no individually removable rule"

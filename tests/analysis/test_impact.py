@@ -1,0 +1,83 @@
+"""Tests for change impact analysis (Sections 1.3 / 8.1)."""
+
+from hypothesis import given, settings
+
+from repro.analysis import ImpactKind, analyze_change
+from repro.fields import enumerate_universe, toy_schema
+from repro.policy import ACCEPT, ACCEPT_LOG, DISCARD, Firewall, Rule
+from repro.synth import flip_decision
+
+from tests.conftest import firewalls
+
+SCHEMA = toy_schema(9, 9)
+
+
+def r(decision, **conjuncts):
+    return Rule.build(SCHEMA, decision, **conjuncts)
+
+
+BASE = Firewall(SCHEMA, [r(DISCARD, F1="0-4"), r(ACCEPT)], name="v1")
+
+
+class TestClassification:
+    def test_newly_allowed(self):
+        after = BASE.remove(0).prepend(r(DISCARD, F1="0-2")).with_name("v2")
+        report = analyze_change(BASE, after)
+        kinds = report.by_kind()
+        assert len(kinds[ImpactKind.NEWLY_ALLOWED]) == 1
+        assert not kinds[ImpactKind.NEWLY_BLOCKED]
+        region = kinds[ImpactKind.NEWLY_ALLOWED][0]
+        assert set(region.sets[0]) == {3, 4}
+
+    def test_newly_blocked(self):
+        after = BASE.prepend(r(DISCARD, F1="7-8"))
+        report = analyze_change(BASE, after)
+        kinds = report.by_kind()
+        assert len(kinds[ImpactKind.NEWLY_BLOCKED]) == 1
+        assert report.affected_packets() == 20
+
+    def test_handling_changed(self):
+        after = BASE.replace(1, r(ACCEPT_LOG))
+        report = analyze_change(BASE, after)
+        kinds = report.by_kind()
+        assert kinds[ImpactKind.HANDLING_CHANGED]
+        assert not kinds[ImpactKind.NEWLY_ALLOWED]
+        assert not kinds[ImpactKind.NEWLY_BLOCKED]
+
+    def test_noop_change(self):
+        # Inserting a rule that repeats existing semantics has no impact.
+        after = BASE.insert(0, r(DISCARD, F1="1-2"))
+        report = analyze_change(BASE, after)
+        assert report.is_noop
+        assert "no semantic effect" in report.render()
+
+
+class TestRendering:
+    def test_render_mentions_kinds_and_names(self):
+        after = BASE.prepend(r(DISCARD, F1="7-8")).with_name("v2")
+        text = analyze_change(BASE, after).render()
+        assert "'v1' -> 'v2'" in text
+        assert ImpactKind.NEWLY_BLOCKED in text
+        assert "20 packet(s)" in text
+
+    def test_table(self):
+        after = BASE.prepend(r(DISCARD, F1="7-8")).with_name("v2")
+        table = analyze_change(BASE, after).table()
+        assert "v1" in table and "v2" in table
+
+
+class TestProperties:
+    @given(firewalls(SCHEMA, max_rules=4))
+    @settings(max_examples=20, deadline=None)
+    def test_impact_matches_brute_force(self, firewall):
+        # Flip the decision of the first rule: the impact must be exactly
+        # the packets whose decision changed.
+        changed = firewall.replace(
+            0, firewall[0].with_decision(flip_decision(firewall[0].decision))
+        )
+        report = analyze_change(firewall, changed)
+        expected = sum(
+            1 for p in enumerate_universe(SCHEMA) if firewall(p) != changed(p)
+        )
+        assert report.affected_packets() == expected
+        assert report.is_noop == (expected == 0)

@@ -1,0 +1,123 @@
+"""End-to-end test of the paper's running example (Tables 1-7).
+
+This is the reproduction's anchor: the two teams' firewalls from
+Tables 1/2 must yield the Table 3 discrepancies, the Table 4 resolution
+must produce (via both Section 6 methods, and via Teams A and B as
+patching bases) firewalls equivalent to the agreed reference policy.
+"""
+
+from repro.analysis import (
+    aggregate_discrepancies,
+    equivalent,
+    resolve_by_corrected_fdd,
+    resolve_by_patching,
+    resolve_with,
+)
+from repro.fdd import compare_firewalls
+from repro.fields import Packet
+from repro.policy import ACCEPT, DISCARD
+from repro.synth import (
+    paper_resolution_chooser,
+    resolved_reference_firewall,
+    team_a_firewall,
+    team_b_firewall,
+)
+from repro.synth.workloads import MAIL_SERVER, MALICIOUS_LO
+
+
+class TestTables1And2:
+    def test_team_a_motivating_packets(self):
+        fw = team_a_firewall()
+        # Team A accepts e-mail to the mail server even from the
+        # malicious domain (rule 1 precedes rule 2).
+        assert fw((0, MALICIOUS_LO, MAIL_SERVER, 25, 0)) == ACCEPT
+        # Non-mail from the malicious domain is blocked.
+        assert fw((0, MALICIOUS_LO, 1, 80, 0)) == DISCARD
+        # Everything else passes.
+        assert fw((0, 1, 2, 80, 1)) == ACCEPT
+        assert fw((1, MALICIOUS_LO, MAIL_SERVER, 25, 0)) == ACCEPT
+
+    def test_team_b_motivating_packets(self):
+        fw = team_b_firewall()
+        # Team B blocks the malicious domain outright...
+        assert fw((0, MALICIOUS_LO, MAIL_SERVER, 25, 0)) == DISCARD
+        # ...accepts only TCP e-mail to the mail server...
+        assert fw((0, 1, MAIL_SERVER, 25, 0)) == ACCEPT
+        assert fw((0, 1, MAIL_SERVER, 25, 1)) == DISCARD  # UDP e-mail
+        assert fw((0, 1, MAIL_SERVER, 80, 0)) == DISCARD  # non-e-mail
+        # ...and accepts the rest.
+        assert fw((0, 1, 2, 80, 0)) == ACCEPT
+
+
+class TestTable3:
+    def test_three_aggregated_discrepancies(self):
+        raw = compare_firewalls(team_a_firewall(), team_b_firewall())
+        merged = aggregate_discrepancies(raw)
+        assert len(merged) == 3
+        # All disagreements have A accepting what B discards.
+        for disc in merged:
+            assert disc.decision_a == ACCEPT and disc.decision_b == DISCARD
+
+    def test_disputed_set_is_the_papers(self):
+        """Check the three semantic questions of Section 5 one packet each."""
+        fw_a, fw_b = team_a_firewall(), team_b_firewall()
+        raw = compare_firewalls(fw_a, fw_b)
+
+        def disputed(packet):
+            return any(d.contains(packet) for d in raw)
+
+        # Q1: malicious domain -> mail server e-mail.
+        assert disputed((0, MALICIOUS_LO, MAIL_SERVER, 25, 0))
+        # Q2: non-TCP port-25 from non-malicious host to mail server.
+        assert disputed((0, 1, MAIL_SERVER, 25, 1))
+        # Q3: non-25 port from non-malicious host to mail server.
+        assert disputed((0, 1, MAIL_SERVER, 80, 0))
+        # Agreed packets are NOT disputed.
+        assert not disputed((0, 1, 2, 80, 0))       # other hosts
+        assert not disputed((1, 1, MAIL_SERVER, 25, 0))  # outgoing interface
+        assert not disputed((0, MALICIOUS_LO, 1, 80, 0))  # malicious non-mail
+
+    def test_disputed_packet_count_exact(self):
+        from repro.fdd.fast import compare_fast
+
+        raw = compare_firewalls(team_a_firewall(), team_b_firewall())
+        fast = compare_fast(team_a_firewall(), team_b_firewall())
+        assert sum(d.size() for d in raw) == fast.disputed_packet_count()
+
+
+class TestTables4Through7:
+    def _resolutions(self, fw_a, fw_b):
+        raw = compare_firewalls(fw_a, fw_b)
+        return resolve_with(raw, paper_resolution_chooser)
+
+    def test_method1_matches_reference(self):
+        fw_a, fw_b = team_a_firewall(), team_b_firewall()
+        final = resolve_by_corrected_fdd(fw_a, fw_b, self._resolutions(fw_a, fw_b))
+        assert equivalent(final, resolved_reference_firewall())
+
+    def test_method2_base_a_matches_reference(self):
+        fw_a, fw_b = team_a_firewall(), team_b_firewall()
+        final = resolve_by_patching(
+            fw_a, self._resolutions(fw_a, fw_b), base_is="a"
+        )
+        assert equivalent(final, resolved_reference_firewall())
+
+    def test_method2_base_b_matches_reference(self):
+        fw_b, fw_a = team_b_firewall(), team_a_firewall()
+        final = resolve_by_patching(
+            fw_b, self._resolutions(fw_b, fw_a), base_is="a"
+        )
+        assert equivalent(final, resolved_reference_firewall())
+
+    def test_resolved_reference_semantics(self):
+        ref = resolved_reference_firewall()
+        assert ref((0, MALICIOUS_LO, MAIL_SERVER, 25, 0)) == DISCARD  # Q1
+        assert ref((0, 1, MAIL_SERVER, 25, 1)) == ACCEPT              # Q2
+        assert ref((0, 1, MAIL_SERVER, 80, 0)) == DISCARD             # Q3
+        assert ref((1, 5, 6, 7, 1)) == ACCEPT
+
+    def test_compact_output_sizes(self):
+        """Method 1's generated firewall stays compact (paper Table 5)."""
+        fw_a, fw_b = team_a_firewall(), team_b_firewall()
+        final = resolve_by_corrected_fdd(fw_a, fw_b, self._resolutions(fw_a, fw_b))
+        assert len(final) <= 6

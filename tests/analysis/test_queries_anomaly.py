@@ -1,0 +1,125 @@
+"""Tests for the firewall-queries and anomaly-detection extensions."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import (
+    any_packet,
+    decisions_in_region,
+    find_anomalies,
+    query,
+)
+from repro.analysis.anomaly import CORRELATION, GENERALIZATION, REDUNDANCY, SHADOWING
+from repro.exceptions import QueryError
+from repro.fdd import construct_fdd
+from repro.fields import enumerate_universe, toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+
+from tests.conftest import firewalls, predicates
+
+SCHEMA = toy_schema(9, 9)
+
+
+def r(decision, **conjuncts):
+    return Rule.build(SCHEMA, decision, **conjuncts)
+
+
+FIREWALL = Firewall(
+    SCHEMA,
+    [
+        r(DISCARD, F1="0-2"),
+        r(ACCEPT, F1="3-6", F2="0-4"),
+        r(DISCARD),
+    ],
+)
+
+
+class TestQuery:
+    def test_whole_universe_counts(self):
+        accept = query(FIREWALL, Predicate.match_all(SCHEMA), ACCEPT)
+        assert accept.packet_count() == 4 * 5
+
+    def test_region_restriction(self):
+        region = Predicate.from_fields(SCHEMA, F1="3-4")
+        result = query(FIREWALL, region, ACCEPT)
+        assert result.packet_count() == 2 * 5
+        for sub in result.regions:
+            assert sub.field_set("F1").issubset(region.field_set("F1"))
+
+    def test_empty_result(self):
+        region = Predicate.from_fields(SCHEMA, F1="0-2")
+        result = query(FIREWALL, region, ACCEPT)
+        assert result.is_empty()
+        assert result.describe() == "(no packets)"
+
+    def test_accepts_prebuilt_fdd(self):
+        fdd = construct_fdd(FIREWALL)
+        result = query(fdd, Predicate.match_all(SCHEMA), ACCEPT)
+        assert result.packet_count() == 20
+
+    def test_schema_mismatch(self):
+        other = toy_schema(9, 9, 9)
+        with pytest.raises(QueryError):
+            query(FIREWALL, Predicate.match_all(other), ACCEPT)
+
+    def test_any_packet_witness(self):
+        witness = any_packet(FIREWALL, Predicate.match_all(SCHEMA), ACCEPT)
+        assert witness is not None
+        packet = tuple(v.min() for v in witness.sets)
+        assert FIREWALL(packet) == ACCEPT
+
+    def test_any_packet_none(self):
+        region = Predicate.from_fields(SCHEMA, F1="0-2")
+        assert any_packet(FIREWALL, region, ACCEPT) is None
+
+    def test_decisions_in_region(self):
+        counts = decisions_in_region(FIREWALL, Predicate.match_all(SCHEMA))
+        assert counts[ACCEPT] == 20
+        assert counts[DISCARD] == 80
+        assert sum(counts.values()) == SCHEMA.universe_size()
+
+    @given(firewalls(SCHEMA, max_rules=4), predicates(SCHEMA))
+    @settings(max_examples=25, deadline=None)
+    def test_query_matches_brute_force(self, firewall, region):
+        result = query(firewall, region, ACCEPT)
+        expected = sum(
+            1
+            for p in enumerate_universe(SCHEMA)
+            if region.matches(p) and firewall(p) == ACCEPT
+        )
+        assert result.packet_count() == expected
+
+
+class TestAnomalies:
+    def test_shadowing(self):
+        fw = Firewall(SCHEMA, [r(ACCEPT, F1="0-5"), r(DISCARD, F1="2-4"), r(DISCARD)])
+        kinds = {(a.first, a.second): a.kind for a in find_anomalies(fw)}
+        assert kinds[(0, 1)] == SHADOWING
+
+    def test_redundancy(self):
+        fw = Firewall(SCHEMA, [r(ACCEPT, F1="0-5"), r(ACCEPT, F1="2-4"), r(DISCARD)])
+        kinds = {(a.first, a.second): a.kind for a in find_anomalies(fw)}
+        assert kinds[(0, 1)] == REDUNDANCY
+
+    def test_generalization(self):
+        fw = Firewall(SCHEMA, [r(DISCARD, F1="2-4"), r(ACCEPT, F1="0-5"), r(DISCARD)])
+        kinds = {(a.first, a.second): a.kind for a in find_anomalies(fw)}
+        assert kinds[(0, 1)] == GENERALIZATION
+
+    def test_correlation(self):
+        fw = Firewall(
+            SCHEMA,
+            [r(ACCEPT, F1="0-5", F2="0-9"), r(DISCARD, F1="3-9", F2="0-9"), r(DISCARD)],
+        )
+        kinds = {(a.first, a.second): a.kind for a in find_anomalies(fw)}
+        assert kinds[(0, 1)] == CORRELATION
+
+    def test_disjoint_rules_clean(self):
+        fw = Firewall(SCHEMA, [r(ACCEPT, F1="0-4"), r(DISCARD, F1="5-9")])
+        assert find_anomalies(fw) == []
+
+    def test_describe(self):
+        fw = Firewall(SCHEMA, [r(ACCEPT, F1="0-5"), r(DISCARD, F1="2-4"), r(DISCARD)])
+        anomaly = find_anomalies(fw)[0]
+        text = anomaly.describe(fw)
+        assert "shadowing" in text and "r1" in text and "r2" in text

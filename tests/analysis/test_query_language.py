@@ -1,0 +1,98 @@
+"""Tests for the textual query language."""
+
+import pytest
+
+from repro.analysis import QuerySession, parse_query, run_query
+from repro.exceptions import QueryError
+from repro.fields import standard_schema, toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+from repro.synth import team_b_firewall
+
+SCHEMA = toy_schema(9, 9)
+
+FIREWALL = Firewall(
+    SCHEMA,
+    [
+        Rule.build(SCHEMA, DISCARD, F1="0-2"),
+        Rule.build(SCHEMA, ACCEPT, F1="3-6", F2="0-4"),
+        Rule.build(SCHEMA, DISCARD),
+    ],
+)
+
+
+class TestParse:
+    def test_which_packets(self):
+        q = parse_query("which packets accept where F1=3-6", SCHEMA)
+        assert q.verb == "which"
+        assert q.decision == ACCEPT
+        assert q.region.field_set("F1").count() == 4
+
+    def test_count_and_any(self):
+        assert parse_query("count discard", SCHEMA).verb == "count"
+        assert parse_query("any accept", SCHEMA).verb == "any"
+
+    def test_multiple_conditions(self):
+        q = parse_query("count accept where F1=1 and F2=2-3", SCHEMA)
+        assert q.region.field_set("F2").count() == 2
+
+    def test_describe_round_trip(self):
+        q = parse_query("count accept where F1=1", SCHEMA)
+        again = parse_query(q.describe(), SCHEMA)
+        assert again == q
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "ponder accept",
+            "which accept",               # missing 'packets'
+            "count",                      # missing decision
+            "count maybe",                # bad decision
+            "count accept where F1",      # bad condition
+            "count accept where F9=1",    # unknown field
+            "count accept where F1=1 and F1=2",  # duplicate
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad, SCHEMA)
+
+
+class TestRun:
+    def test_count(self):
+        assert run_query("count accept", FIREWALL) == "20"
+        assert run_query("count discard", FIREWALL) == "80"
+
+    def test_count_with_region(self):
+        assert run_query("count accept where F1=0-2", FIREWALL) == "0"
+
+    def test_any_witness(self):
+        answer = run_query("any accept where F1=3-6", FIREWALL)
+        assert answer != "none"
+
+    def test_any_none(self):
+        assert run_query("any accept where F1=0-2", FIREWALL) == "none"
+
+    def test_which_packets_lists_regions(self):
+        answer = run_query("which packets accept", FIREWALL)
+        assert "F1=" in answer
+
+    def test_real_schema_vocabulary(self):
+        fw = team_b_firewall()
+        # Team B accepts TCP e-mail to the mail server on interface 0.
+        schema_fw = fw
+        count = run_query(
+            "count accept where interface=0 and dst_ip=192.168.0.1"
+            " and dst_port=smtp and protocol=0",
+            schema_fw,
+        )
+        # All sources except the /16 malicious block: 2^32 - 2^16.
+        assert int(count) == (1 << 32) - (1 << 16)
+
+
+class TestSession:
+    def test_session_reuses_fdd(self):
+        session = QuerySession(FIREWALL)
+        assert session.ask("count accept") == "20"
+        assert session.ask("count discard") == "80"
+        assert session.fdd is session.fdd

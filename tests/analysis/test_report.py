@@ -1,0 +1,85 @@
+"""Tests for the Markdown audit reports."""
+
+from repro.analysis import audit_change, audit_policy
+from repro.fields import toy_schema
+from repro.policy import ACCEPT, ACCEPT_LOG, DISCARD, Firewall, Rule
+
+SCHEMA = toy_schema(9, 9)
+
+
+def r(decision, comment="", **conjuncts):
+    return Rule.build(SCHEMA, decision, comment, **conjuncts)
+
+
+BASE = Firewall(SCHEMA, [r(DISCARD, "block low", F1="0-4"), r(ACCEPT)], name="v1")
+
+
+class TestAuditChange:
+    def test_noop(self):
+        same = BASE.insert(0, r(DISCARD, "repeat", F1="1-2")).with_name("v2")
+        text = audit_change(BASE, same)
+        assert "no semantic change" in text
+        assert "`v1` -> `v2`" in text
+        assert "rules: 2 -> 3 (+1)" in text
+
+    def test_newly_allowed_flagged(self):
+        opened = BASE.remove(0).prepend(r(DISCARD, F1="0-2")).with_name("v2")
+        text = audit_change(BASE, opened)
+        assert "semantics changed" in text
+        assert "⚠ **Newly allowed traffic**" in text
+        assert "| newly allowed | 1 |" in text
+
+    def test_newly_blocked_section(self):
+        closed = BASE.prepend(r(DISCARD, F1="7-8")).with_name("v2")
+        text = audit_change(BASE, closed)
+        assert "Newly blocked traffic" in text
+        assert "| newly blocked | 1 | 20 |" in text
+
+    def test_handling_changed_counted(self):
+        relogged = BASE.replace(1, r(ACCEPT_LOG)).with_name("v2")
+        text = audit_change(BASE, relogged)
+        assert "| handling changed | 1 |" in text
+
+    def test_fingerprints_differ_iff_changed(self):
+        closed = BASE.prepend(r(DISCARD, F1="7-8")).with_name("v2")
+        text = audit_change(BASE, closed)
+        lines = [l for l in text.splitlines() if "fingerprint" in l]
+        assert lines[0].split("`")[1] != lines[1].split("`")[1]
+
+    def test_anomaly_delta_reported(self):
+        shadowing = BASE.append(r(ACCEPT, "shadowed", F1="0-1")).with_name("v2")
+        # appended after the catch-all changes nothing semantically but
+        # adds anomaly flags
+        text = audit_change(BASE, shadowing)
+        assert "no semantic change" in text  # appended after catch-all
+
+
+class TestAuditPolicy:
+    def test_healthy_policy(self):
+        text = audit_policy(BASE)
+        assert "no unreachable rules" in text
+        assert "catch-all present: yes" in text
+
+    def test_dead_rule_flagged(self):
+        sick = Firewall(
+            SCHEMA,
+            [r(ACCEPT, F1="0-5"), r(DISCARD, "dead", F1="2-3"), r(DISCARD)],
+            name="sick",
+        )
+        text = audit_policy(sick)
+        assert "unreachable rule(s)" in text and "r2" in text
+        assert "anomaly flag" in text
+
+    def test_with_trace_coverage(self):
+        text = audit_policy(BASE, trace=[(0, 0), (9, 9)])
+        assert "Trace coverage" in text
+        assert "2 packets" in text
+
+    def test_anomaly_overflow_truncated(self):
+        rules = [r(ACCEPT, F1=f"{i}-{i}") for i in range(9)]
+        rules.append(r(DISCARD, F1="0-8"))
+        rules.append(r(DISCARD))
+        noisy = Firewall(SCHEMA, rules)
+        # every accept rule shadows part of the discard rule: many flags
+        text = audit_policy(noisy)
+        assert "anomaly" in text

@@ -1,0 +1,102 @@
+"""Tests for policy slicing."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import relevant_rules, slice_firewall
+from repro.exceptions import QueryError
+from repro.fields import enumerate_universe, toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+
+from tests.conftest import firewalls, predicates
+
+SCHEMA = toy_schema(9, 9)
+
+
+def r(decision, comment="", **conjuncts):
+    return Rule.build(SCHEMA, decision, comment, **conjuncts)
+
+
+FIREWALL = Firewall(
+    SCHEMA,
+    [
+        r(DISCARD, "blocklist", F1="0-2"),
+        r(ACCEPT, "service", F1="3-6", F2="0-4"),
+        r(ACCEPT, "other region", F1="7-9", F2="8-9"),
+        r(DISCARD, "default"),
+    ],
+    name="sliceme",
+)
+
+
+class TestSliceFirewall:
+    def test_agrees_inside_region(self):
+        region = Predicate.from_fields(SCHEMA, F1="3-6")
+        narrow = slice_firewall(FIREWALL, region)
+        for packet in enumerate_universe(SCHEMA):
+            if region.matches(packet):
+                assert narrow(packet) == FIREWALL(packet)
+
+    def test_outside_defaults_to_discard(self):
+        region = Predicate.from_fields(SCHEMA, F1="3-6")
+        narrow = slice_firewall(FIREWALL, region)
+        assert narrow((0, 0)) == DISCARD
+
+    def test_outside_decision_override(self):
+        region = Predicate.from_fields(SCHEMA, F1="3-6")
+        narrow = slice_firewall(FIREWALL, region, outside=ACCEPT)
+        assert narrow((0, 0)) == ACCEPT
+
+    def test_slice_is_compact(self):
+        region = Predicate.from_fields(SCHEMA, F1="3-6")
+        narrow = slice_firewall(FIREWALL, region)
+        assert len(narrow) <= len(FIREWALL)
+
+    def test_named(self):
+        region = Predicate.from_fields(SCHEMA, F1="3-6")
+        assert "sliceme" in slice_firewall(FIREWALL, region).name
+
+    def test_schema_mismatch(self):
+        with pytest.raises(QueryError):
+            slice_firewall(FIREWALL, Predicate.match_all(toy_schema(9, 9, 9)))
+
+    @given(firewalls(SCHEMA, max_rules=4), predicates(SCHEMA))
+    @settings(max_examples=20, deadline=None)
+    def test_slice_property(self, firewall, region):
+        narrow = slice_firewall(firewall, region)
+        for packet in list(enumerate_universe(SCHEMA))[::7]:
+            if region.matches(packet):
+                assert narrow(packet) == firewall(packet)
+            else:
+                assert narrow(packet) == DISCARD
+
+
+class TestRelevantRules:
+    def test_only_deciding_rules(self):
+        region = Predicate.from_fields(SCHEMA, F1="3-6")
+        assert relevant_rules(FIREWALL, region) == [1, 3]
+
+    def test_shadowed_overlap_excluded(self):
+        shadow = Firewall(
+            SCHEMA,
+            [
+                r(ACCEPT, "covers region", F1="0-9", F2="0-9"),
+                r(DISCARD, "never reached", F1="3-4"),
+                r(DISCARD, "default"),
+            ],
+        )
+        region = Predicate.from_fields(SCHEMA, F1="3-4")
+        assert relevant_rules(shadow, region) == [0]
+
+    def test_whole_universe(self):
+        indices = relevant_rules(FIREWALL, Predicate.match_all(SCHEMA))
+        assert indices == [0, 1, 2, 3]
+
+    @given(firewalls(SCHEMA, max_rules=4), predicates(SCHEMA))
+    @settings(max_examples=20, deadline=None)
+    def test_relevance_matches_first_match(self, firewall, region):
+        expected = set()
+        for packet in enumerate_universe(SCHEMA):
+            if region.matches(packet):
+                expected.add(firewall.first_match_index(packet))
+        assert set(relevant_rules(firewall, region)) == expected

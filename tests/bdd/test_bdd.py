@@ -1,0 +1,127 @@
+"""Unit and property tests for the ROBDD engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, BDDManager
+from repro.exceptions import BDDError
+
+
+class TestBasics:
+    def test_terminals(self):
+        m = BDDManager(3)
+        assert m.ite(TRUE, TRUE, FALSE) == TRUE
+        assert m.not_(TRUE) == FALSE
+
+    def test_var_bounds(self):
+        m = BDDManager(2)
+        with pytest.raises(BDDError):
+            m.var(2)
+        with pytest.raises(BDDError):
+            BDDManager(0)
+
+    def test_hash_consing(self):
+        m = BDDManager(3)
+        a = m.and_(m.var(0), m.var(1))
+        b = m.and_(m.var(0), m.var(1))
+        assert a == b  # same node id
+
+    def test_reduction(self):
+        m = BDDManager(2)
+        # x ? y : y  ==  y
+        assert m.ite(m.var(0), m.var(1), m.var(1)) == m.var(1)
+
+    def test_negated_var(self):
+        m = BDDManager(2)
+        assert m.nvar(0) == m.not_(m.var(0))
+
+
+def _eval(m: BDDManager, node: int, assignment: dict[int, bool]) -> bool:
+    while node not in (FALSE, TRUE):
+        var = m._var[node]
+        node = m._high[node] if assignment[var] else m._low[node]
+    return node == TRUE
+
+
+def _assignments(n):
+    for bits in range(1 << n):
+        yield {i: bool((bits >> i) & 1) for i in range(n)}
+
+
+class TestAlgebra:
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_boolean_ops_truth_tables(self, fa_bits, fb_bits):
+        """Treat two random 3-var truth tables as functions; verify ops."""
+        m = BDDManager(3)
+
+        def from_table(bits):
+            node = FALSE
+            for index, assignment in enumerate(_assignments(3)):
+                if (bits >> index) & 1:
+                    cube = TRUE
+                    for var in range(3):
+                        literal = m.var(var) if assignment[var] else m.nvar(var)
+                        cube = m.and_(cube, literal)
+                    node = m.or_(node, cube)
+            return node
+
+        fa = from_table(fa_bits)
+        fb = from_table(fb_bits)
+        for index, assignment in enumerate(_assignments(3)):
+            va = bool((fa_bits >> index) & 1)
+            vb = bool((fb_bits >> index) & 1)
+            assert _eval(m, m.and_(fa, fb), assignment) == (va and vb)
+            assert _eval(m, m.or_(fa, fb), assignment) == (va or vb)
+            assert _eval(m, m.xor(fa, fb), assignment) == (va != vb)
+            assert _eval(m, m.diff(fa, fb), assignment) == (va and not vb)
+            assert _eval(m, m.not_(fa), assignment) == (not va)
+
+
+class TestCounting:
+    def test_count_terminals(self):
+        m = BDDManager(4)
+        assert m.count_solutions(FALSE) == 0
+        assert m.count_solutions(TRUE) == 16
+
+    def test_count_single_var(self):
+        m = BDDManager(4)
+        assert m.count_solutions(m.var(0)) == 8
+        assert m.count_solutions(m.var(3)) == 8
+
+    def test_count_with_gaps(self):
+        m = BDDManager(4)
+        f = m.and_(m.var(0), m.var(3))  # vars 1, 2 free
+        assert m.count_solutions(f) == 4
+
+    def test_count_xor(self):
+        m = BDDManager(2)
+        assert m.count_solutions(m.xor(m.var(0), m.var(1))) == 2
+
+    def test_node_count(self):
+        m = BDDManager(3)
+        f = m.and_(m.var(0), m.and_(m.var(1), m.var(2)))
+        assert m.node_count(f) == 3
+        assert m.node_count(TRUE) == 0
+
+
+class TestCubes:
+    def test_cube_enumeration(self):
+        m = BDDManager(3)
+        f = m.or_(m.var(0), m.var(1))
+        cubes = list(m.cubes(f))
+        # Every cube satisfies f, and together they cover exactly f.
+        for cube in cubes:
+            assignment = {i: cube.get(i, False) for i in range(3)}
+            assert _eval(m, f, assignment)
+
+    def test_cube_limit(self):
+        m = BDDManager(4)
+        f = m.xor(m.var(0), m.xor(m.var(1), m.var(2)))
+        assert m.count_cubes(f, limit=2) == 2
+        assert m.count_cubes(f) >= 4
+
+    def test_cubes_of_false(self):
+        m = BDDManager(2)
+        assert list(m.cubes(FALSE)) == []

@@ -1,0 +1,102 @@
+"""Tests for the benchmark harness helpers (small parameters only)."""
+
+import pytest
+
+from repro.bench import (
+    banner,
+    effectiveness_experiment,
+    fig12_experiment,
+    fig13_experiment,
+    render_series,
+    render_table,
+    timed_comparison,
+    timed_fast_comparison,
+)
+from repro.synth import SyntheticFirewallGenerator
+
+
+@pytest.fixture(scope="module")
+def firewall():
+    return SyntheticFirewallGenerator(seed=6).generate(20)
+
+
+class TestTiming:
+    def test_timed_comparison_fields(self, firewall):
+        from repro.synth import perturb
+
+        other, _ = perturb(firewall, 0.2, seed=1)
+        discs, timing = timed_comparison(firewall, other)
+        assert timing.rules_a == 20
+        assert timing.total_ms >= timing.construction_ms
+        assert timing.discrepancies == len(discs)
+        assert timing.shaped_paths >= max(timing.paths_a, timing.paths_b)
+
+    def test_timed_fast_comparison_fields(self, firewall):
+        from repro.synth import perturb
+
+        other, _ = perturb(firewall, 0.2, seed=1)
+        fast = timed_fast_comparison(firewall, other)
+        assert fast.total_ms > 0
+        assert fast.difference_nodes > 0
+
+    def test_engines_agree(self, firewall):
+        from repro.synth import perturb
+
+        other, _ = perturb(firewall, 0.3, seed=2)
+        discs, _ = timed_comparison(firewall, other)
+        fast = timed_fast_comparison(firewall, other)
+        assert sum(d.size() for d in discs) == fast.disputed_packets
+
+
+class TestExperiments:
+    def test_fig12_rows(self, firewall):
+        rows = fig12_experiment(firewall, xs=(10, 30), trials=1, engine="fast")
+        assert [row.x_percent for row in rows] == [10, 30]
+        assert all(row.trials == 1 for row in rows)
+        assert all(row.total_ms > 0 for row in rows)
+
+    def test_fig12_reference_engine(self, firewall):
+        rows = fig12_experiment(firewall, xs=(20,), trials=1, engine="reference")
+        assert rows[0].shaping_ms >= 0
+
+    def test_fig13_rows(self):
+        rows = fig13_experiment(sizes=(10, 20), seed=1, engine="fast")
+        assert [row.rules_per_firewall for row in rows] == [10, 20]
+        assert all(row.engine == "fast" for row in rows)
+
+    def test_fig13_reference(self):
+        rows = fig13_experiment(sizes=(10,), seed=1, engine="reference")
+        assert rows[0].engine == "reference"
+        assert rows[0].difference_paths > 0
+
+    def test_effectiveness_small(self):
+        result = effectiveness_experiment(
+            seed=5, ordering_errors=2, missing_rules=1, redesign_errors=1
+        )
+        assert result.all_errors_surfaced
+        assert result.discrepancies_found > 0
+        assert (
+            result.original_wrong + result.redesign_wrong + result.both_wrong
+            == result.discrepancies_found
+        )
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        table = render_table(["a", "long-header"], [[1, 2.5], [333, 4.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_render_series(self):
+        text = render_series("label", [1, 2], [5.0, 10.0], width=10)
+        assert "label" in text
+        assert text.splitlines()[2].count("#") == 10
+
+    def test_render_series_all_zero(self):
+        text = render_series("z", [1], [0.0])
+        assert "#" not in text
+
+    def test_banner(self):
+        text = banner("title", "detail one")
+        assert "title" in text and "detail one" in text

@@ -1,0 +1,119 @@
+"""Tests for the FDD design builder and field reordering (Section 7.2)."""
+
+import pytest
+
+from repro.exceptions import FDDError, SchemaError
+from repro.fdd import FDDBuilder, compare_fdds, construct_fdd, reorder_fdd
+from repro.fields import enumerate_universe, toy_schema
+from repro.intervals import IntervalSet
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+from repro.synth import mail_example_schema, team_b_firewall
+from repro.synth.workloads import MAIL_SERVER, MALICIOUS_HI, MALICIOUS_LO
+
+SCHEMA = toy_schema(9, 9)
+
+
+class TestBuilder:
+    def test_basic_build(self):
+        b = FDDBuilder(SCHEMA)
+        leaf = b.node("F2").edge("0-4", ACCEPT).otherwise(DISCARD)
+        root = b.node("F1").edge("0-2", leaf).otherwise(DISCARD)
+        fdd = b.finish(root)
+        fdd.validate()
+        assert fdd.evaluate((1, 3)) == ACCEPT
+        assert fdd.evaluate((1, 7)) == DISCARD
+        assert fdd.evaluate((5, 3)) == DISCARD
+
+    def test_consistency_enforced_at_call_time(self):
+        b = FDDBuilder(SCHEMA)
+        node = b.node("F1").edge("0-4", ACCEPT)
+        with pytest.raises(FDDError, match="outside the node's uncovered"):
+            node.edge("3-6", DISCARD)
+
+    def test_completeness_enforced_at_finish(self):
+        b = FDDBuilder(SCHEMA)
+        root = b.node("F1").edge("0-4", ACCEPT)
+        with pytest.raises(FDDError, match="incomplete"):
+            b.finish(root)
+
+    def test_otherwise_on_complete_node(self):
+        b = FDDBuilder(SCHEMA)
+        root = b.node("F1").edge("0-9", ACCEPT)
+        with pytest.raises(FDDError, match="already complete"):
+            root.otherwise(DISCARD)
+
+    def test_empty_edge_rejected(self):
+        b = FDDBuilder(SCHEMA)
+        with pytest.raises(FDDError):
+            b.node("F1").edge(IntervalSet.empty(), ACCEPT)
+
+    def test_bad_target(self):
+        b = FDDBuilder(SCHEMA)
+        with pytest.raises(SchemaError):
+            b.node("F1").edge("0-9", "accept")  # strings are not targets
+
+    def test_interval_set_and_tuple_values(self):
+        b = FDDBuilder(SCHEMA)
+        root = (
+            b.node("F1")
+            .edge(IntervalSet.of((0, 2)), ACCEPT)
+            .edge((5, 6), DISCARD)
+            .otherwise(ACCEPT)
+        )
+        fdd = b.finish(root)
+        assert fdd.evaluate((5, 0)) == DISCARD
+        assert fdd.evaluate((8, 0)) == ACCEPT
+
+    def test_paper_spec_as_fdd(self):
+        """Design the Section 2.1 specification directly as an FDD and
+        check it is equivalent to Team B's rule sequence."""
+        schema = mail_example_schema()
+        b = FDDBuilder(schema)
+        malicious = IntervalSet.span(MALICIOUS_LO, MALICIOUS_HI)
+        mail = IntervalSet.single(MAIL_SERVER)
+
+        email_only = b.node("protocol").edge(0, ACCEPT).otherwise(DISCARD)
+        port_check = b.node("dst_port").edge(25, email_only).otherwise(DISCARD)
+        dst_check = b.node("dst_ip").edge(mail, port_check).otherwise(ACCEPT)
+        src_check = b.node("src_ip").edge(malicious, DISCARD).otherwise(dst_check)
+        root = b.node("interface").edge(0, src_check).otherwise(ACCEPT)
+        designed = b.finish(root)
+
+        assert not compare_fdds(designed, construct_fdd(team_b_firewall()))
+
+
+class TestReorder:
+    def test_round_trip_same_order(self):
+        firewall = Firewall(
+            SCHEMA,
+            [Rule.build(SCHEMA, DISCARD, F1="2-4", F2="1-7"), Rule.build(SCHEMA, ACCEPT)],
+        )
+        fdd = construct_fdd(firewall)
+        again = reorder_fdd(fdd)
+        for packet in enumerate_universe(SCHEMA):
+            assert again.evaluate(packet) == firewall(packet)
+
+    def test_reorder_fields(self):
+        firewall = Firewall(
+            SCHEMA,
+            [Rule.build(SCHEMA, DISCARD, F1="2-4", F2="1-7"), Rule.build(SCHEMA, ACCEPT)],
+        )
+        fdd = construct_fdd(firewall)
+        flipped = reorder_fdd(fdd, ["F2", "F1"])
+        assert flipped.is_ordered()
+        assert flipped.schema.fields[0].name == "F2"
+        for packet in enumerate_universe(SCHEMA):
+            assert flipped.evaluate((packet[1], packet[0])) == firewall(packet)
+
+    def test_non_ordered_design_handled(self):
+        """A hand-built non-ordered FDD becomes a comparable ordered one."""
+        b = FDDBuilder(SCHEMA)
+        # Root on F2, children on F1: legal, but not schema-ordered.
+        inner = b.node("F1").edge("0-4", ACCEPT).otherwise(DISCARD)
+        root = b.node("F2").edge("0-4", inner).otherwise(DISCARD)
+        designed = b.finish(root)
+        assert not designed.is_ordered()
+        ordered = reorder_fdd(designed)
+        assert ordered.is_ordered()
+        for packet in enumerate_universe(SCHEMA):
+            assert ordered.evaluate(packet) == designed.evaluate(packet)

@@ -1,0 +1,106 @@
+"""Tests for the comparison algorithm (Section 5) — soundness AND
+completeness against brute-force enumeration."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import NotSemiIsomorphicError, SchemaError
+from repro.fdd import (
+    compare_direct,
+    compare_firewalls,
+    compare_shaped,
+    construct_fdd,
+)
+from repro.fields import enumerate_universe, toy_schema
+from repro.policy import ACCEPT, ACCEPT_LOG, DISCARD, Firewall, Rule
+from repro.synth import team_a_firewall, team_b_firewall
+
+from tests.conftest import brute_force_diff, covered_packets, firewalls
+
+SCHEMA = toy_schema(9, 9)
+
+
+def r(decision, **conjuncts):
+    return Rule.build(SCHEMA, decision, **conjuncts)
+
+
+class TestCompareFirewalls:
+    def test_equivalent_firewalls_no_discrepancies(self):
+        fw_a = Firewall(SCHEMA, [r(ACCEPT, F1="0-3"), r(DISCARD)])
+        fw_b = Firewall(SCHEMA, [r(DISCARD, F1="4-9"), r(ACCEPT)])
+        assert compare_firewalls(fw_a, fw_b) == []
+
+    def test_single_region(self):
+        fw_a = Firewall(SCHEMA, [r(ACCEPT)])
+        fw_b = Firewall(SCHEMA, [r(DISCARD, F1="2-4"), r(ACCEPT)])
+        discs = compare_firewalls(fw_a, fw_b)
+        assert covered_packets(discs) == brute_force_diff(fw_a, fw_b)
+        for disc in discs:
+            assert disc.decision_a == ACCEPT and disc.decision_b == DISCARD
+
+    def test_multiple_decisions(self):
+        fw_a = Firewall(SCHEMA, [r(ACCEPT_LOG, F1="0-3"), r(DISCARD)])
+        fw_b = Firewall(SCHEMA, [r(ACCEPT, F1="0-3"), r(DISCARD)])
+        discs = compare_firewalls(fw_a, fw_b)
+        assert covered_packets(discs) == brute_force_diff(fw_a, fw_b)
+        assert all(d.decision_a == ACCEPT_LOG for d in discs)
+
+    def test_discrepancy_regions_disjoint(self):
+        fw_a = Firewall(SCHEMA, [r(ACCEPT, F1="0-5"), r(DISCARD)])
+        fw_b = Firewall(SCHEMA, [r(DISCARD, F2="0-5"), r(ACCEPT)])
+        discs = compare_firewalls(fw_a, fw_b)
+        total = sum(d.size() for d in discs)
+        assert total == len(covered_packets(discs))  # no double counting
+
+    def test_schema_mismatch(self):
+        other = toy_schema(9, 9, 9)
+        with pytest.raises(SchemaError):
+            compare_firewalls(
+                Firewall(SCHEMA, [r(ACCEPT)]),
+                Firewall(other, [Rule.build(other, ACCEPT)]),
+            )
+
+    def test_paper_example_disputed_set(self):
+        discs = compare_firewalls(team_a_firewall(), team_b_firewall())
+        assert discs  # teams disagree
+        # Every discrepancy has Team A accepting and Team B discarding.
+        assert {(d.decision_a.name, d.decision_b.name) for d in discs} == {
+            ("accept", "discard")
+        }
+
+    @given(firewalls(SCHEMA, max_rules=4), firewalls(SCHEMA, max_rules=4))
+    @settings(max_examples=40, deadline=None)
+    def test_sound_and_complete(self, fw_a, fw_b):
+        """The paper's central claim: ALL discrepancies, and only real ones."""
+        discs = compare_firewalls(fw_a, fw_b)
+        assert covered_packets(discs) == brute_force_diff(fw_a, fw_b)
+        for disc in discs:
+            packet = tuple(values.min() for values in disc.sets)
+            assert fw_a(packet) == disc.decision_a
+            assert fw_b(packet) == disc.decision_b
+
+    @given(firewalls(toy_schema(5, 5, 5), max_rules=4, include_log=True))
+    @settings(max_examples=25, deadline=None)
+    def test_self_comparison_empty(self, firewall):
+        assert compare_firewalls(firewall, firewall) == []
+
+
+class TestCompareShaped:
+    def test_requires_semi_isomorphic(self):
+        fa = construct_fdd(Firewall(SCHEMA, [r(ACCEPT, F1="0-4"), r(DISCARD)]))
+        fb = construct_fdd(Firewall(SCHEMA, [r(ACCEPT)]))
+        with pytest.raises(NotSemiIsomorphicError):
+            compare_shaped(fa, fb)
+
+
+class TestCompareDirect:
+    @given(firewalls(SCHEMA, max_rules=4), firewalls(SCHEMA, max_rules=4))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_pipeline(self, fw_a, fw_b):
+        direct = compare_direct(fw_a, fw_b)
+        assert covered_packets(direct) == brute_force_diff(fw_a, fw_b)
+
+    def test_paper_example_agrees(self):
+        pipeline = compare_firewalls(team_a_firewall(), team_b_firewall())
+        direct = compare_direct(team_a_firewall(), team_b_firewall())
+        assert sum(d.size() for d in pipeline) == sum(d.size() for d in direct)

@@ -1,0 +1,142 @@
+"""Tests for the FDD construction algorithm (Section 3, Fig. 7).
+
+The key contract: the constructed FDD is a valid, ordered FDD that maps
+every packet to the same decision as the source firewall's first-match
+evaluation — verified exhaustively on toy schemas and by property tests.
+"""
+
+from hypothesis import given, settings
+
+from repro.fdd import FDD, construct_fdd
+from repro.fdd.construction import build_decision_path
+from repro.fdd.node import InternalNode, TerminalNode
+from repro.fields import enumerate_universe, toy_schema
+from repro.intervals import IntervalSet
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+from repro.synth import team_a_firewall, team_b_firewall
+
+from tests.conftest import firewalls
+
+SCHEMA = toy_schema(9, 9)
+
+
+def fw(*rules):
+    return Firewall(SCHEMA, rules)
+
+
+def r(decision, **conjuncts):
+    return Rule.build(SCHEMA, decision, **conjuncts)
+
+
+class TestBuildDecisionPath:
+    def test_single_rule_path(self):
+        sets = (IntervalSet.of((2, 4)), IntervalSet.of((0, 9)))
+        node = build_decision_path(SCHEMA, sets, ACCEPT, 0)
+        assert isinstance(node, InternalNode) and node.field_index == 0
+        assert node.edges[0].label == sets[0]
+        leaf = node.edges[0].target.edges[0].target
+        assert isinstance(leaf, TerminalNode) and leaf.decision == ACCEPT
+
+    def test_suffix_start(self):
+        sets = (IntervalSet.of((2, 4)), IntervalSet.of((5, 6)))
+        node = build_decision_path(SCHEMA, sets, DISCARD, 1)
+        assert isinstance(node, InternalNode) and node.field_index == 1
+
+
+class TestConstructionSemantics:
+    def test_single_catchall(self):
+        fdd = construct_fdd(fw(r(ACCEPT)))
+        fdd.validate()
+        assert fdd.evaluate((0, 0)) == ACCEPT
+
+    def test_two_rules(self):
+        fdd = construct_fdd(fw(r(DISCARD, F1="3-5"), r(ACCEPT)))
+        fdd.validate()
+        assert fdd.evaluate((4, 0)) == DISCARD
+        assert fdd.evaluate((6, 0)) == ACCEPT
+
+    def test_overlapping_conflicting_rules(self):
+        firewall = fw(
+            r(ACCEPT, F1="0-5", F2="0-5"),
+            r(DISCARD, F1="3-9"),
+            r(ACCEPT),
+        )
+        fdd = construct_fdd(firewall)
+        fdd.validate()
+        for packet in enumerate_universe(SCHEMA):
+            assert fdd.evaluate(packet) == firewall(packet)
+
+    def test_multi_interval_conjuncts(self):
+        firewall = fw(r(DISCARD, F1="0-1, 8-9"), r(ACCEPT))
+        fdd = construct_fdd(firewall)
+        fdd.validate()
+        for packet in enumerate_universe(SCHEMA):
+            assert fdd.evaluate(packet) == firewall(packet)
+
+    def test_shadowed_rule_is_absorbed(self):
+        # Rule 2 is fully shadowed; the FDD must reflect rule 1 only.
+        firewall = fw(r(ACCEPT, F1="0-5"), r(DISCARD, F1="2-3"), r(ACCEPT))
+        fdd = construct_fdd(firewall)
+        assert fdd.evaluate((2, 0)) == ACCEPT
+
+    def test_result_is_ordered(self):
+        fdd = construct_fdd(fw(r(DISCARD, F1="3-5", F2="1-2"), r(ACCEPT)))
+        assert fdd.is_ordered()
+
+    def test_paper_example_fdds(self):
+        for firewall in (team_a_firewall(), team_b_firewall()):
+            fdd = construct_fdd(firewall)
+            fdd.validate()
+            assert fdd.is_ordered()
+            # Spot-check the motivating packets.
+            mail = 0xC0A80001
+            malicious = 0xE0A80000
+            # e-mail from malicious domain: A accepts (rule 1 first)...
+            packet = (0, malicious, mail, 25, 0)
+            expected = firewall(packet)
+            assert fdd.evaluate(packet) == expected
+
+    @given(firewalls(SCHEMA, max_rules=6))
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence_exhaustive(self, firewall):
+        fdd = construct_fdd(firewall)
+        for packet in enumerate_universe(SCHEMA):
+            assert fdd.evaluate(packet) == firewall(packet)
+
+    @given(firewalls(toy_schema(5, 5, 5), max_rules=5, include_log=True))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_three_fields_multi_decision(self, firewall):
+        fdd = construct_fdd(firewall)
+        fdd.validate()
+        for packet in enumerate_universe(firewall.schema):
+            assert fdd.evaluate(packet) == firewall(packet)
+
+    @given(firewalls(SCHEMA, max_rules=5))
+    @settings(max_examples=40, deadline=None)
+    def test_constructed_fdd_is_valid_and_ordered(self, firewall):
+        fdd = construct_fdd(firewall)
+        fdd.validate()
+        assert fdd.is_ordered()
+
+
+class TestFig6Scenario:
+    """The paper's Fig. 6: appending Team A's rule 2 splits the I=0 edge."""
+
+    def test_append_creates_expected_splits(self):
+        firewall = team_a_firewall()
+        from repro.fdd.construction import append_rule
+        from repro.fdd.fdd import FDD as FDDClass
+
+        first = firewall.rules[0]
+        root = build_decision_path(
+            firewall.schema, first.predicate.sets, first.decision, 0
+        )
+        partial = FDDClass(firewall.schema, root)
+        # After rule 1 only: root has a single outgoing edge for I=0.
+        assert len(root.edges) == 1
+        append_rule(partial, firewall.rules[1])
+        # Rule 2 also constrains I=0 but different sources: the S-level
+        # must now distinguish the malicious domain.
+        s_node = root.edges[0].target
+        assert isinstance(s_node, InternalNode)
+        assert len(s_node.edges) >= 2

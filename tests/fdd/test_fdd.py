@@ -1,0 +1,132 @@
+"""Tests for the FDD wrapper: validation, paths, rules, statistics."""
+
+import pytest
+
+from repro.exceptions import FDDError
+from repro.fdd import FDD, construct_fdd
+from repro.fdd.node import Edge, InternalNode, TerminalNode
+from repro.fields import enumerate_universe, toy_schema
+from repro.intervals import IntervalSet
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+
+SCHEMA = toy_schema(9, 9)
+
+
+def valid_fdd() -> FDD:
+    firewall = Firewall(
+        SCHEMA,
+        [
+            Rule.build(SCHEMA, DISCARD, F1="0-3", F2="2-5"),
+            Rule.build(SCHEMA, ACCEPT),
+        ],
+    )
+    return construct_fdd(firewall)
+
+
+class TestValidation:
+    def test_valid_diagram_passes(self):
+        valid_fdd().validate()
+
+    def test_bare_terminal_is_legal(self):
+        FDD(SCHEMA, TerminalNode(ACCEPT)).validate()
+
+    def test_incomplete_node_rejected(self):
+        node = InternalNode(0)
+        node.add_edge(IntervalSet.of((0, 4)), TerminalNode(ACCEPT))
+        with pytest.raises(FDDError, match="completeness"):
+            FDD(SCHEMA, node).validate()
+
+    def test_overlapping_edges_rejected(self):
+        node = InternalNode(0)
+        node.add_edge(IntervalSet.of((0, 5)), TerminalNode(ACCEPT))
+        node.add_edge(IntervalSet.of((4, 9)), TerminalNode(DISCARD))
+        with pytest.raises(FDDError, match="consistency"):
+            FDD(SCHEMA, node).validate()
+
+    def test_out_of_domain_label_rejected(self):
+        node = InternalNode(0)
+        node.add_edge(IntervalSet.of((0, 15)), TerminalNode(ACCEPT))
+        with pytest.raises(FDDError, match="exceeds domain"):
+            FDD(SCHEMA, node).validate()
+
+    def test_unknown_field_rejected(self):
+        node = InternalNode(7)
+        node.add_edge(IntervalSet.of((0, 9)), TerminalNode(ACCEPT))
+        with pytest.raises(FDDError, match="unknown field"):
+            FDD(SCHEMA, node).validate()
+
+    def test_repeated_field_rejected(self):
+        inner = InternalNode(0)
+        inner.add_edge(IntervalSet.of((0, 9)), TerminalNode(ACCEPT))
+        root = InternalNode(0)
+        root.add_edge(IntervalSet.of((0, 9)), inner)
+        with pytest.raises(FDDError, match="repeated"):
+            FDD(SCHEMA, root).validate()
+
+    def test_childless_internal_rejected(self):
+        with pytest.raises(FDDError, match="no outgoing"):
+            FDD(SCHEMA, InternalNode(0)).validate()
+
+
+class TestOrdering:
+    def test_ordered(self):
+        assert valid_fdd().is_ordered()
+
+    def test_unordered_detected(self):
+        inner = InternalNode(0)
+        inner.add_edge(IntervalSet.of((0, 9)), TerminalNode(ACCEPT))
+        root = InternalNode(1)
+        root.add_edge(IntervalSet.of((0, 9)), inner)
+        assert not FDD(SCHEMA, root).is_ordered()
+
+
+class TestPathsAndRules:
+    def test_paths_partition_universe(self):
+        fdd = valid_fdd()
+        seen = {}
+        for path in fdd.paths():
+            for packet in enumerate_universe(SCHEMA):
+                if all(v in s for v, s in zip(packet, path.sets)):
+                    assert packet not in seen
+                    seen[packet] = path.decision
+        assert len(seen) == SCHEMA.universe_size()
+
+    def test_rules_view_agrees_with_evaluate(self):
+        fdd = valid_fdd()
+        for rule in fdd.rules():
+            # Pick the corner packet of each rule region.
+            packet = tuple(values.min() for values in rule.predicate.sets)
+            assert fdd.evaluate(packet) == rule.decision
+
+    def test_to_firewall_equivalent(self):
+        fdd = valid_fdd()
+        as_firewall = fdd.to_firewall()
+        for packet in enumerate_universe(SCHEMA):
+            assert as_firewall(packet) == fdd.evaluate(packet)
+
+    def test_count_paths_matches_enumeration(self):
+        fdd = valid_fdd()
+        assert fdd.count_paths() == len(list(fdd.paths()))
+
+
+class TestStats:
+    def test_stats_fields(self):
+        stats = valid_fdd().stats()
+        assert stats.nodes > 0 and stats.edges > 0
+        assert stats.depth == 2
+        assert stats.paths == valid_fdd().count_paths()
+
+    def test_clone_independent(self):
+        fdd = valid_fdd()
+        copy = fdd.clone()
+        copy.root.edges[0].target = TerminalNode(DISCARD)
+        fdd.validate()  # original untouched
+
+    def test_map_terminals(self):
+        fdd = valid_fdd()
+        flipped = fdd.map_terminals(lambda d: ACCEPT if d == DISCARD else DISCARD)
+        for packet in enumerate_universe(SCHEMA):
+            assert flipped.evaluate(packet) != fdd.evaluate(packet)
+
+    def test_repr(self):
+        assert "FDD" in repr(valid_fdd())

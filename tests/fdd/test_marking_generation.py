@@ -1,0 +1,115 @@
+"""Tests for FDD marking and firewall generation ([12], Section 6.1)."""
+
+from hypothesis import given, settings
+
+from repro.fdd import (
+    construct_fdd,
+    generate_firewall,
+    generate_rules,
+    mark_fdd,
+    node_load,
+    reduce_fdd,
+)
+from repro.fdd.node import InternalNode
+from repro.fields import enumerate_universe, toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+
+from tests.conftest import firewalls
+
+SCHEMA = toy_schema(9, 9)
+
+
+def r(decision, **conjuncts):
+    return Rule.build(SCHEMA, decision, **conjuncts)
+
+
+class TestMarking:
+    def test_every_internal_node_marked(self):
+        fdd = construct_fdd(
+            Firewall(SCHEMA, [r(DISCARD, F1="2-4"), r(ACCEPT)])
+        )
+        marking = mark_fdd(fdd)
+        from repro.fdd.node import iter_nodes
+
+        internal = [n for n in iter_nodes(fdd.root) if isinstance(n, InternalNode)]
+        assert set(marking) == {id(n) for n in internal}
+        for node in internal:
+            assert marking[id(node)] in node.edges
+
+    def test_marks_widest_edge(self):
+        # The multi-interval edge should be marked: widening it to "all"
+        # saves (intervals - 1) * load simple rules.
+        fdd = reduce_fdd(
+            construct_fdd(
+                Firewall(SCHEMA, [r(DISCARD, F1="0-1, 4-5, 8-9"), r(ACCEPT)])
+            )
+        )
+        marking = mark_fdd(fdd)
+        root = fdd.root
+        assert isinstance(root, InternalNode)
+        chosen = marking[id(root)]
+        assert len(chosen.label.intervals) == max(
+            len(e.label.intervals) for e in root.edges
+        )
+
+    def test_node_load_accounts_marking(self):
+        fdd = reduce_fdd(
+            construct_fdd(
+                Firewall(SCHEMA, [r(DISCARD, F1="0-1, 4-5, 8-9"), r(ACCEPT)])
+            )
+        )
+        marking = mark_fdd(fdd)
+        load_marked = node_load(fdd.root, marking)
+        load_unmarked = node_load(fdd.root, {})
+        assert load_marked < load_unmarked
+
+
+class TestGeneration:
+    def test_generated_rules_equivalent(self):
+        firewall = Firewall(
+            SCHEMA, [r(DISCARD, F1="2-4", F2="0-5"), r(ACCEPT, F2="3-9"), r(DISCARD)]
+        )
+        fdd = construct_fdd(firewall)
+        rules = generate_rules(fdd)
+        regenerated = Firewall(SCHEMA, rules)
+        for packet in enumerate_universe(SCHEMA):
+            assert regenerated(packet) == firewall(packet)
+
+    def test_last_rule_is_catchall(self):
+        firewall = Firewall(SCHEMA, [r(DISCARD, F1="2-4"), r(ACCEPT)])
+        rules = generate_rules(construct_fdd(firewall))
+        assert rules[-1].predicate.is_match_all()
+
+    def test_generate_firewall_compacts(self):
+        firewall = Firewall(
+            SCHEMA,
+            [
+                r(DISCARD, F1="2-4"),
+                r(DISCARD, F1="5-7"),
+                r(ACCEPT),
+            ],
+        )
+        final = generate_firewall(construct_fdd(firewall))
+        for packet in enumerate_universe(SCHEMA):
+            assert final(packet) == firewall(packet)
+        # Reduction + marking + redundancy removal should not blow up the
+        # policy: a handful of rules suffices for two discard bands.
+        assert len(final) <= 4
+
+    def test_generate_without_reduce_or_compact(self):
+        firewall = Firewall(SCHEMA, [r(DISCARD, F1="2-4"), r(ACCEPT)])
+        final = generate_firewall(
+            construct_fdd(firewall), reduce=False, compact=False
+        )
+        for packet in enumerate_universe(SCHEMA):
+            assert final(packet) == firewall(packet)
+
+    @given(firewalls(SCHEMA, max_rules=4, include_log=True))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, firewall):
+        """construct -> reduce -> generate must reproduce the semantics."""
+        final = generate_firewall(
+            construct_fdd(firewall), compact=False
+        )
+        for packet in list(enumerate_universe(SCHEMA))[::3]:
+            assert final(packet) == firewall(packet)

@@ -1,0 +1,97 @@
+"""Unit tests for FDD nodes and edges."""
+
+import pytest
+
+from repro.exceptions import FDDError
+from repro.fdd.node import Edge, InternalNode, TerminalNode, count_nodes_edges, iter_nodes
+from repro.intervals import IntervalSet
+from repro.policy import ACCEPT, DISCARD
+
+
+def chain():
+    """A tiny two-level diagram used across tests."""
+    leaf_a = TerminalNode(ACCEPT)
+    leaf_d = TerminalNode(DISCARD)
+    inner = InternalNode(1)
+    inner.add_edge(IntervalSet.of((0, 4)), leaf_a)
+    inner.add_edge(IntervalSet.of((5, 9)), leaf_d)
+    root = InternalNode(0)
+    root.add_edge(IntervalSet.of((0, 9)), inner)
+    return root, inner, leaf_a, leaf_d
+
+
+class TestBasics:
+    def test_terminal(self):
+        t = TerminalNode(ACCEPT)
+        assert t.is_terminal()
+        clone = t.clone()
+        assert clone is not t and clone.decision == ACCEPT
+
+    def test_empty_edge_label_rejected(self):
+        with pytest.raises(FDDError):
+            Edge(IntervalSet.empty(), TerminalNode(ACCEPT))
+
+    def test_covered_union(self):
+        _, inner, _, _ = chain()
+        assert inner.covered() == IntervalSet.span(0, 9)
+
+    def test_child_for(self):
+        _, inner, leaf_a, leaf_d = chain()
+        assert inner.child_for(3) is leaf_a
+        assert inner.child_for(7) is leaf_d
+
+    def test_child_for_uncovered_raises(self):
+        inner = InternalNode(0)
+        inner.add_edge(IntervalSet.of((0, 4)), TerminalNode(ACCEPT))
+        with pytest.raises(FDDError):
+            inner.child_for(7)
+
+    def test_sort_edges(self):
+        inner = InternalNode(0)
+        inner.add_edge(IntervalSet.of((5, 9)), TerminalNode(ACCEPT))
+        inner.add_edge(IntervalSet.of((0, 4)), TerminalNode(DISCARD))
+        inner.sort_edges()
+        assert inner.edges[0].label.min() == 0
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        root, inner, leaf_a, _ = chain()
+        copy = root.clone()
+        assert copy is not root
+        copy_inner = copy.edges[0].target
+        assert copy_inner is not inner
+        # Mutating the copy leaves the original untouched.
+        copy_inner.edges[0].target.decision = DISCARD
+        assert leaf_a.decision == ACCEPT
+
+    def test_clone_preserves_sharing(self):
+        shared = TerminalNode(ACCEPT)
+        root = InternalNode(0)
+        root.add_edge(IntervalSet.of((0, 4)), shared)
+        root.add_edge(IntervalSet.of((5, 9)), shared)
+        copy = root.clone()
+        assert copy.edges[0].target is copy.edges[1].target
+
+    def test_clone_preserves_diamond(self):
+        bottom = TerminalNode(ACCEPT)
+        mid = InternalNode(1)
+        mid.add_edge(IntervalSet.of((0, 9)), bottom)
+        root = InternalNode(0)
+        root.add_edge(IntervalSet.of((0, 4)), mid)
+        root.add_edge(IntervalSet.of((5, 9)), mid)
+        copy = root.clone()
+        assert copy.edges[0].target is copy.edges[1].target
+        nodes, edges = count_nodes_edges(copy)
+        assert (nodes, edges) == (3, 3)
+
+
+class TestTraversal:
+    def test_iter_nodes_unique(self):
+        root, *_ = chain()
+        nodes = list(iter_nodes(root))
+        assert len(nodes) == len({id(n) for n in nodes}) == 4
+
+    def test_count_nodes_edges(self):
+        root, *_ = chain()
+        assert count_nodes_edges(root) == (4, 3)

@@ -1,0 +1,79 @@
+"""Tests for FDD reduction (isomorphic-subgraph merging, [12])."""
+
+from hypothesis import given, settings
+
+from repro.fdd import construct_fdd, make_simple, reduce_fdd
+from repro.fdd.node import InternalNode, count_nodes_edges, iter_nodes
+from repro.fields import enumerate_universe, toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+
+from tests.conftest import firewalls
+
+SCHEMA = toy_schema(9, 9)
+
+
+def r(decision, **conjuncts):
+    return Rule.build(SCHEMA, decision, **conjuncts)
+
+
+class TestReduce:
+    def test_semantics_preserved(self):
+        firewall = Firewall(
+            SCHEMA, [r(DISCARD, F1="2-4", F2="1-3"), r(ACCEPT, F1="0-6"), r(DISCARD)]
+        )
+        fdd = construct_fdd(firewall)
+        reduced = reduce_fdd(fdd)
+        reduced.validate()
+        for packet in enumerate_universe(SCHEMA):
+            assert reduced.evaluate(packet) == firewall(packet)
+
+    def test_shrinks_replicated_tree(self):
+        # Simplifying explodes the diagram into a tree; reduction must
+        # fold the replicas back together.
+        firewall = Firewall(
+            SCHEMA, [r(DISCARD, F1="0-1, 4-5, 8-9"), r(ACCEPT)]
+        )
+        tree = make_simple(construct_fdd(firewall))
+        reduced = reduce_fdd(tree)
+        nodes_before, _ = count_nodes_edges(tree.root)
+        nodes_after, _ = count_nodes_edges(reduced.root)
+        assert nodes_after < nodes_before
+
+    def test_merges_parallel_edges(self):
+        # F1 in {0-1, 8-9} -> same subtree twice after simplify; reduce
+        # merges both the subtrees and the edges into one interval set.
+        firewall = Firewall(SCHEMA, [r(DISCARD, F1="0-1, 8-9"), r(ACCEPT)])
+        reduced = reduce_fdd(make_simple(construct_fdd(firewall)))
+        root = reduced.root
+        assert isinstance(root, InternalNode)
+        assert len(root.edges) == 2  # {0-1, 8-9} -> discard; rest -> accept
+
+    def test_idempotent(self):
+        firewall = Firewall(SCHEMA, [r(DISCARD, F1="2-4"), r(ACCEPT)])
+        once = reduce_fdd(construct_fdd(firewall))
+        twice = reduce_fdd(once)
+        assert count_nodes_edges(once.root) == count_nodes_edges(twice.root)
+
+    def test_no_isomorphic_siblings_remain(self):
+        firewall = Firewall(
+            SCHEMA, [r(DISCARD, F1="0-2", F2="0-2"), r(DISCARD, F1="7-9", F2="0-2"), r(ACCEPT)]
+        )
+        reduced = reduce_fdd(construct_fdd(firewall))
+        # Count terminals per decision: at most one shared instance each.
+        from repro.fdd.node import TerminalNode
+
+        terminals = [n for n in iter_nodes(reduced.root) if isinstance(n, TerminalNode)]
+        decisions = [t.decision for t in terminals]
+        assert len(decisions) == len(set(decisions))
+
+    @given(firewalls(SCHEMA, max_rules=5))
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_property(self, firewall):
+        fdd = construct_fdd(firewall)
+        reduced = reduce_fdd(fdd)
+        reduced.validate()
+        nodes_before, _ = count_nodes_edges(fdd.root)
+        nodes_after, _ = count_nodes_edges(reduced.root)
+        assert nodes_after <= nodes_before
+        for packet in list(enumerate_universe(SCHEMA))[::5]:
+            assert reduced.evaluate(packet) == firewall(packet)

@@ -1,0 +1,136 @@
+"""Tests for the shaping algorithm (Section 4, Figs. 10/11).
+
+Contracts: the two outputs are simple, semi-isomorphic, and each is
+semantically equivalent to its input — checked structurally and
+exhaustively on toy schemas, plus on the paper's running example.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import NotOrderedError, SchemaError
+from repro.fdd import are_semi_isomorphic, construct_fdd, make_semi_isomorphic
+from repro.fields import enumerate_universe, toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+from repro.synth import team_a_firewall, team_b_firewall
+
+from tests.conftest import firewalls
+
+SCHEMA = toy_schema(9, 9)
+
+
+def r(decision, **conjuncts):
+    return Rule.build(SCHEMA, decision, **conjuncts)
+
+
+class TestMakeSemiIsomorphic:
+    def test_basic_pair(self):
+        fa = construct_fdd(Firewall(SCHEMA, [r(ACCEPT, F1="0-4"), r(DISCARD)]))
+        fb = construct_fdd(Firewall(SCHEMA, [r(DISCARD, F1="2-7"), r(ACCEPT)]))
+        sa, sb = make_semi_isomorphic(fa, fb)
+        assert are_semi_isomorphic(sa, sb)
+        sa.check_simple()
+        sb.check_simple()
+        sa.validate()
+        sb.validate()
+
+    def test_inputs_unmodified(self):
+        fa = construct_fdd(Firewall(SCHEMA, [r(ACCEPT, F1="0-4"), r(DISCARD)]))
+        fb = construct_fdd(Firewall(SCHEMA, [r(DISCARD, F2="2-7"), r(ACCEPT)]))
+        paths_a, paths_b = fa.count_paths(), fb.count_paths()
+        make_semi_isomorphic(fa, fb)
+        assert fa.count_paths() == paths_a and fb.count_paths() == paths_b
+
+    def test_semantics_preserved_both_sides(self):
+        fw_a = Firewall(SCHEMA, [r(ACCEPT, F1="0-4", F2="3-6"), r(DISCARD)])
+        fw_b = Firewall(SCHEMA, [r(DISCARD, F2="0-7"), r(ACCEPT)])
+        sa, sb = make_semi_isomorphic(construct_fdd(fw_a), construct_fdd(fw_b))
+        for packet in enumerate_universe(SCHEMA):
+            assert sa.evaluate(packet) == fw_a(packet)
+            assert sb.evaluate(packet) == fw_b(packet)
+
+    def test_paper_example(self):
+        fa = construct_fdd(team_a_firewall())
+        fb = construct_fdd(team_b_firewall())
+        sa, sb = make_semi_isomorphic(fa, fb)
+        assert are_semi_isomorphic(sa, sb)
+
+    def test_schema_mismatch_rejected(self):
+        fa = construct_fdd(Firewall(SCHEMA, [r(ACCEPT)]))
+        other = toy_schema(9, 9, 9)
+        fb = construct_fdd(Firewall(other, [Rule.build(other, ACCEPT)]))
+        with pytest.raises(SchemaError):
+            make_semi_isomorphic(fa, fb)
+
+    def test_unordered_rejected(self):
+        from repro.fdd import FDD
+        from repro.fdd.node import InternalNode, TerminalNode
+        from repro.intervals import IntervalSet
+
+        inner = InternalNode(0)
+        inner.add_edge(IntervalSet.span(0, 9), TerminalNode(ACCEPT))
+        root = InternalNode(1)
+        root.add_edge(IntervalSet.span(0, 9), inner)
+        bad = FDD(SCHEMA, root)
+        good = construct_fdd(Firewall(SCHEMA, [r(ACCEPT)]))
+        with pytest.raises(NotOrderedError):
+            make_semi_isomorphic(bad, good)
+
+    def test_node_insertion_case(self):
+        """One diagram skips a field entirely -> shaping must insert it."""
+        from repro.fdd import FDD
+        from repro.fdd.node import InternalNode, TerminalNode
+        from repro.intervals import IntervalSet
+
+        # fa: only tests F2 (F1 unconstrained); fb: tests both fields.
+        inner = InternalNode(1)
+        inner.add_edge(IntervalSet.span(0, 4), TerminalNode(ACCEPT))
+        inner.add_edge(IntervalSet.span(5, 9), TerminalNode(DISCARD))
+        fa = FDD(SCHEMA, inner)
+        fw_b = Firewall(SCHEMA, [r(DISCARD, F1="0-3", F2="0-3"), r(ACCEPT)])
+        fb = construct_fdd(fw_b)
+        sa, sb = make_semi_isomorphic(fa, fb)
+        assert are_semi_isomorphic(sa, sb)
+        for packet in enumerate_universe(SCHEMA):
+            expected_a = ACCEPT if packet[1] <= 4 else DISCARD
+            assert sa.evaluate(packet) == expected_a
+            assert sb.evaluate(packet) == fw_b(packet)
+
+    def test_terminal_vs_internal_root(self):
+        """A constant FDD shaped against a real one gains every field."""
+        from repro.fdd import FDD
+        from repro.fdd.node import TerminalNode
+
+        fa = FDD(SCHEMA, TerminalNode(ACCEPT))
+        fw_b = Firewall(SCHEMA, [r(DISCARD, F1="3-4"), r(ACCEPT)])
+        sa, sb = make_semi_isomorphic(fa, construct_fdd(fw_b))
+        assert are_semi_isomorphic(sa, sb)
+        for packet in enumerate_universe(SCHEMA):
+            assert sa.evaluate(packet) == ACCEPT
+
+    @given(firewalls(SCHEMA, max_rules=4), firewalls(SCHEMA, max_rules=4))
+    @settings(max_examples=30, deadline=None)
+    def test_shaping_property(self, fw_a, fw_b):
+        sa, sb = make_semi_isomorphic(construct_fdd(fw_a), construct_fdd(fw_b))
+        assert are_semi_isomorphic(sa, sb)
+        for packet in list(enumerate_universe(SCHEMA))[::7]:
+            assert sa.evaluate(packet) == fw_a(packet)
+            assert sb.evaluate(packet) == fw_b(packet)
+
+
+class TestAreSemiIsomorphic:
+    def test_different_schemas(self):
+        fa = construct_fdd(Firewall(SCHEMA, [r(ACCEPT)]))
+        other = toy_schema(9, 9, 9)
+        fb = construct_fdd(Firewall(other, [Rule.build(other, ACCEPT)]))
+        assert not are_semi_isomorphic(fa, fb)
+
+    def test_terminals_may_differ(self):
+        fa = construct_fdd(Firewall(SCHEMA, [r(ACCEPT)]))
+        fb = construct_fdd(Firewall(SCHEMA, [r(DISCARD)]))
+        assert are_semi_isomorphic(fa, fb)
+
+    def test_structure_must_match(self):
+        fa = construct_fdd(Firewall(SCHEMA, [r(ACCEPT, F1="0-4"), r(DISCARD)]))
+        fb = construct_fdd(Firewall(SCHEMA, [r(ACCEPT)]))
+        assert not are_semi_isomorphic(fa, fb)

@@ -1,0 +1,67 @@
+"""Tests for the simple-FDD transformation (Definition 4.3)."""
+
+from hypothesis import given, settings
+
+from repro.fdd import construct_fdd, make_simple
+from repro.fields import enumerate_universe, toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+
+from tests.conftest import firewalls
+
+SCHEMA = toy_schema(9, 9)
+
+
+def sample_fdd():
+    firewall = Firewall(
+        SCHEMA,
+        [
+            Rule.build(SCHEMA, DISCARD, F1="0-1, 8-9"),  # multi-interval edge
+            Rule.build(SCHEMA, ACCEPT),
+        ],
+    )
+    return firewall, construct_fdd(firewall)
+
+
+class TestMakeSimple:
+    def test_result_is_simple(self):
+        _, fdd = sample_fdd()
+        simple = make_simple(fdd)
+        simple.check_simple()
+        simple.validate()
+
+    def test_input_unmodified(self):
+        _, fdd = sample_fdd()
+        before = fdd.count_paths()
+        make_simple(fdd)
+        assert fdd.count_paths() == before
+
+    def test_semantics_preserved(self):
+        firewall, fdd = sample_fdd()
+        simple = make_simple(fdd)
+        for packet in enumerate_universe(SCHEMA):
+            assert simple.evaluate(packet) == firewall(packet)
+
+    def test_edges_sorted(self):
+        _, fdd = sample_fdd()
+        simple = make_simple(fdd)
+        from repro.fdd.node import InternalNode, iter_nodes
+
+        for node in iter_nodes(simple.root):
+            if isinstance(node, InternalNode):
+                minimums = [edge.label.min() for edge in node.edges]
+                assert minimums == sorted(minimums)
+
+    def test_terminal_only(self):
+        from repro.fdd import FDD
+        from repro.fdd.node import TerminalNode
+
+        simple = make_simple(FDD(SCHEMA, TerminalNode(ACCEPT)))
+        assert simple.is_simple()
+
+    @given(firewalls(SCHEMA, max_rules=5))
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_preserves_semantics_property(self, firewall):
+        simple = make_simple(construct_fdd(firewall))
+        simple.check_simple()
+        for packet in list(enumerate_universe(SCHEMA))[::3]:
+            assert simple.evaluate(packet) == firewall(packet)

@@ -1,0 +1,78 @@
+"""Seeded cross-validation sweeps: both engines, realistic schema, many
+workloads.  Complements the hypothesis properties (which use toy
+schemas) with the full five-field schema at moderate sizes."""
+
+import pytest
+
+from repro.fdd import compare_direct, compare_firewalls, construct_fdd
+from repro.fdd.fast import compare_fast, construct_fdd_fast
+from repro.fields import PacketSampler
+from repro.synth import (
+    BoundaryTraceGenerator,
+    GeneratorConfig,
+    SyntheticFirewallGenerator,
+    generate_firewall_pair,
+    perturb,
+)
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303, 404, 505])
+def test_engines_agree_on_perturbed_pairs(seed):
+    firewall = SyntheticFirewallGenerator(seed=seed).generate(30)
+    other, _ = perturb(firewall, 0.3, seed=seed + 1)
+    reference = sum(d.size() for d in compare_firewalls(firewall, other))
+    fused = sum(d.size() for d in compare_direct(firewall, other))
+    fast = compare_fast(firewall, other).disputed_packet_count()
+    assert reference == fused == fast
+
+
+@pytest.mark.parametrize("seed", [11, 22, 33])
+def test_engines_agree_on_independent_pairs(seed):
+    fw_a, fw_b = generate_firewall_pair(20, seed=seed)
+    reference = sum(d.size() for d in compare_firewalls(fw_a, fw_b))
+    fast = compare_fast(fw_a, fw_b).disputed_packet_count()
+    assert reference == fast
+
+
+@pytest.mark.parametrize("seed", [7, 17, 27, 37])
+def test_constructions_agree_pointwise(seed):
+    firewall = SyntheticFirewallGenerator(seed=seed).generate(50)
+    reference = construct_fdd(firewall)
+    fast = construct_fdd_fast(firewall)
+    sampler = PacketSampler(firewall.schema, seed=seed)
+    boundary = BoundaryTraceGenerator(firewall, seed=seed)
+    for packet in sampler.uniform_many(150) + boundary.packets(150):
+        expected = firewall(packet)
+        assert reference.evaluate(packet) == expected
+        assert fast.evaluate(packet) == expected
+
+
+def test_extreme_generator_configs():
+    """Degenerate mixes (all wildcards / no wildcards) still validate."""
+    for config in (
+        GeneratorConfig(src_wildcard_p=1.0, dst_wildcard_p=1.0,
+                        src_port_wildcard_p=1.0, dst_port_wildcard_p=1.0),
+        GeneratorConfig(src_wildcard_p=0.0, dst_wildcard_p=0.0,
+                        src_port_wildcard_p=0.0, dst_port_wildcard_p=0.0,
+                        host_p=1.0),
+    ):
+        firewall = SyntheticFirewallGenerator(config, seed=1).generate(20)
+        fdd = construct_fdd_fast(firewall)
+        fdd.validate()
+        sampler = PacketSampler(firewall.schema, seed=2)
+        for packet in sampler.uniform_many(50):
+            assert fdd.evaluate(packet) == firewall(packet)
+
+
+def test_difference_fdd_region_sizes_sum():
+    """Enumerated discrepancy sizes must sum to the counted total."""
+    fw_a, fw_b = generate_firewall_pair(25, seed=99)
+    diff = compare_fast(fw_a, fw_b)
+    cells = diff.discrepancies()
+    total = 0
+    for cell in cells:
+        size = 1
+        for values in cell.sets:
+            size *= values.count()
+        total += size
+    assert total == diff.disputed_packet_count()

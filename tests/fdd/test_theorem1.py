@@ -1,0 +1,77 @@
+"""Theorem 1: the constructed FDD has at most (2n-1)^d decision paths
+for n simple rules over d fields."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fdd import construct_fdd
+from repro.fields import toy_schema
+from repro.intervals import Interval, IntervalSet
+from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+
+
+def simple_firewalls(schema, max_rules=5):
+    """Random firewalls whose every rule is simple (one interval/field)."""
+
+    def interval(max_value):
+        return st.tuples(
+            st.integers(min_value=0, max_value=max_value),
+            st.integers(min_value=0, max_value=max_value),
+        ).map(lambda p: IntervalSet([Interval(min(p), max(p))]))
+
+    rule = st.builds(
+        Rule,
+        st.tuples(*(interval(f.max_value) for f in schema)).map(
+            lambda sets: Predicate(schema, sets)
+        ),
+        st.sampled_from([ACCEPT, DISCARD]),
+    )
+
+    def build(body):
+        return Firewall(
+            schema, body + [Rule(Predicate.match_all(schema), DISCARD)]
+        )
+
+    return st.lists(rule, min_size=0, max_size=max_rules - 1).map(build)
+
+
+SCHEMA2 = toy_schema(15, 15)
+SCHEMA3 = toy_schema(7, 7, 7)
+
+
+class TestTheorem1:
+    @given(simple_firewalls(SCHEMA2))
+    @settings(max_examples=60, deadline=None)
+    def test_bound_two_fields(self, firewall):
+        n = len(firewall)
+        d = len(firewall.schema)
+        fdd = construct_fdd(firewall)
+        assert fdd.count_paths() <= (2 * n - 1) ** d
+
+    @given(simple_firewalls(SCHEMA3, max_rules=4))
+    @settings(max_examples=30, deadline=None)
+    def test_bound_three_fields(self, firewall):
+        n = len(firewall)
+        d = len(firewall.schema)
+        fdd = construct_fdd(firewall)
+        assert fdd.count_paths() <= (2 * n - 1) ** d
+
+    def test_bound_is_approachable(self):
+        """Nested distinct intervals force many splits per field — the
+        path count grows toward (not past) the bound."""
+        schema = toy_schema(31, 31)
+        rules = []
+        for k in range(4):
+            rules.append(
+                Rule.build(
+                    schema,
+                    ACCEPT if k % 2 else DISCARD,
+                    F1=f"{4 + 3 * k}-{25 - 3 * k}",
+                    F2=f"{4 + 3 * k}-{25 - 3 * k}",
+                )
+            )
+        rules.append(Rule.build(schema, DISCARD))
+        firewall = Firewall(schema, rules)
+        fdd = construct_fdd(firewall)
+        n, d = len(firewall), 2
+        assert 9 <= fdd.count_paths() <= (2 * n - 1) ** d

@@ -1,0 +1,92 @@
+"""Tests for FDD visualization (DOT and ASCII)."""
+
+from repro.fdd import construct_fdd, reduce_fdd
+from repro.fdd.viz import to_ascii, to_dot
+from repro.fields import toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+from repro.synth import team_a_firewall
+
+SCHEMA = toy_schema(9, 9)
+
+
+def sample_fdd():
+    return construct_fdd(
+        Firewall(
+            SCHEMA,
+            [Rule.build(SCHEMA, DISCARD, F1="2-4", F2="0-5"), Rule.build(SCHEMA, ACCEPT)],
+        )
+    )
+
+
+class TestDot:
+    def test_well_formed(self):
+        dot = to_dot(sample_fdd())
+        assert dot.startswith("digraph FDD {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") >= 4
+
+    def test_title(self):
+        dot = to_dot(sample_fdd(), title="Fig. 2")
+        assert 'label="Fig. 2"' in dot
+
+    def test_terminal_styling(self):
+        dot = to_dot(sample_fdd())
+        assert "palegreen" in dot  # accept terminals
+        assert "lightcoral" in dot  # discard terminals
+
+    def test_field_symbols(self):
+        dot = to_dot(construct_fdd(team_a_firewall()))
+        for symbol in ("I", "S", "D", "N", "P"):
+            assert f'label="{symbol}"' in dot
+
+    def test_shared_nodes_render_once(self):
+        fdd = reduce_fdd(sample_fdd())
+        dot = to_dot(fdd)
+        # Reduced diagram: one accept terminal, one discard terminal.
+        assert dot.count("palegreen") == 1
+        assert dot.count("lightcoral") == 1
+
+    def test_quote_escaping(self):
+        dot = to_dot(sample_fdd())
+        # Labels must not contain raw double quotes inside quoted strings.
+        for line in dot.splitlines():
+            assert line.count('"') % 2 == 0
+
+
+class TestAscii:
+    def test_tree_shape(self):
+        text = to_ascii(sample_fdd())
+        lines = text.splitlines()
+        assert lines[0] == "F1"
+        assert any("[accept]" in line for line in lines)
+        assert any("[discard]" in line for line in lines)
+        assert any(line.startswith(("+- ", "`- ")) for line in lines)
+
+    def test_long_labels_truncated(self):
+        text = to_ascii(construct_fdd(team_a_firewall()), max_label=20)
+        for line in text.splitlines():
+            # connector + label + arrow; the label part is bounded.
+            if " -> " in line:
+                label = line.split(" -> ")[0]
+                assert len(label) < 120
+
+    def test_shared_subgraph_cited_not_duplicated(self):
+        fdd = reduce_fdd(
+            construct_fdd(
+                Firewall(
+                    SCHEMA,
+                    [
+                        Rule.build(SCHEMA, DISCARD, F1="0-1, 8-9", F2="0-5"),
+                        Rule.build(SCHEMA, ACCEPT),
+                    ],
+                )
+            )
+        )
+        text = to_ascii(fdd)
+        if "#1" in text:
+            assert "see #1" in text
+
+    def test_paper_example_renders(self):
+        text = to_ascii(construct_fdd(team_a_firewall()))
+        assert "224.168.0.0/16" in text
+        assert "I" == text.splitlines()[0]

@@ -1,0 +1,81 @@
+"""Unit tests for packets and packet sampling."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.fields import Packet, PacketSampler, enumerate_universe, standard_schema, toy_schema
+from repro.intervals import IntervalSet
+
+
+class TestPacket:
+    def test_is_a_tuple(self):
+        p = Packet((1, 2))
+        assert p == (1, 2)
+        assert p[0] == 1
+
+    def test_schema_validation(self):
+        schema = toy_schema(9, 9)
+        Packet((0, 9), schema)  # fine
+        with pytest.raises(SchemaError):
+            Packet((0, 10), schema)
+        with pytest.raises(SchemaError):
+            Packet((0,), schema)
+
+    def test_describe(self):
+        schema = standard_schema()
+        p = Packet((0xC0A80001, 0, 25, 25, 6))
+        text = p.describe(schema)
+        assert "src_ip=192.168.0.1" in text
+        assert "protocol=tcp" in text
+
+
+class TestPacketSampler:
+    def test_uniform_within_domains(self):
+        schema = toy_schema(3, 7)
+        sampler = PacketSampler(schema, seed=1)
+        for packet in sampler.uniform_many(100):
+            assert 0 <= packet[0] <= 3 and 0 <= packet[1] <= 7
+
+    def test_deterministic_with_seed(self):
+        schema = toy_schema(9, 9)
+        a = PacketSampler(schema, seed=5).uniform_many(10)
+        b = PacketSampler(schema, seed=5).uniform_many(10)
+        assert a == b
+
+    def test_from_region(self):
+        schema = toy_schema(9, 9)
+        sampler = PacketSampler(schema, seed=2)
+        region = (IntervalSet.of((2, 3)), IntervalSet.single(7))
+        for _ in range(20):
+            packet = sampler.from_region(region)
+            assert packet[0] in (2, 3) and packet[1] == 7
+
+    def test_from_region_wrong_arity(self):
+        schema = toy_schema(9, 9)
+        sampler = PacketSampler(schema, seed=2)
+        with pytest.raises(SchemaError):
+            sampler.from_region((IntervalSet.single(1),))
+
+    def test_near_boundaries(self):
+        schema = toy_schema(9, 9)
+        sampler = PacketSampler(schema, seed=3)
+        packet = sampler.near_boundaries([[0, 9], [5]])
+        assert packet[0] in (0, 9) and packet[1] == 5
+
+    def test_near_boundaries_filters_out_of_domain(self):
+        schema = toy_schema(9, 9)
+        sampler = PacketSampler(schema, seed=3)
+        packet = sampler.near_boundaries([[-5, 100], [5]])
+        assert 0 <= packet[0] <= 9  # fell back to uniform
+
+
+class TestEnumerateUniverse:
+    def test_enumerates_all(self):
+        schema = toy_schema(1, 2)
+        packets = list(enumerate_universe(schema))
+        assert len(packets) == 6
+        assert len(set(packets)) == 6
+
+    def test_refuses_huge_universe(self):
+        with pytest.raises(SchemaError):
+            list(enumerate_universe(standard_schema()))

@@ -1,0 +1,117 @@
+"""Unit tests for field schemas."""
+
+import pytest
+
+from repro.exceptions import AddressError, SchemaError
+from repro.fields import (
+    Field,
+    FieldKind,
+    FieldSchema,
+    interface_schema,
+    standard_schema,
+    toy_schema,
+)
+from repro.intervals import IntervalSet
+
+
+class TestField:
+    def test_domain(self):
+        f = Field("x", FieldKind.GENERIC, 9)
+        assert f.domain_size() == 10
+        assert f.domain_set == IntervalSet.span(0, 9)
+
+    def test_default_symbol(self):
+        assert Field("proto", FieldKind.GENERIC, 9).symbol == "P"
+
+    def test_negative_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("x", FieldKind.GENERIC, -1)
+
+    def test_parse_any(self):
+        f = Field("x", FieldKind.GENERIC, 9)
+        assert f.parse_value_set("any") == f.domain_set
+        assert f.parse_value_set("*") == f.domain_set
+
+    def test_parse_integers_and_ranges(self):
+        f = Field("x", FieldKind.GENERIC, 99)
+        assert f.parse_value_set("5") == IntervalSet.single(5)
+        assert f.parse_value_set("5, 10-12") == IntervalSet.of(5, (10, 12))
+
+    def test_parse_negation(self):
+        f = Field("x", FieldKind.GENERIC, 9)
+        assert f.parse_value_set("not 3-5") == IntervalSet.of((0, 2), (6, 9))
+        assert f.parse_value_set("all except 0") == IntervalSet.span(1, 9)
+
+    def test_parse_out_of_domain(self):
+        f = Field("x", FieldKind.GENERIC, 9)
+        with pytest.raises(SchemaError):
+            f.parse_value_set("10")
+
+    def test_parse_garbage(self):
+        f = Field("x", FieldKind.GENERIC, 9)
+        with pytest.raises(AddressError):
+            f.parse_value_set("banana")
+
+    def test_ip_field_vocabulary(self):
+        f = standard_schema().field_named("src_ip")
+        values = f.parse_value_set("10.0.0.0/8")
+        assert values.count() == 1 << 24
+        assert f.format_value_set(values) == "10.0.0.0/8"
+
+    def test_ip_field_dash_range(self):
+        f = standard_schema().field_named("src_ip")
+        values = f.parse_value_set("10.0.0.1-10.0.0.3")
+        assert values.count() == 3
+
+    def test_port_field_vocabulary(self):
+        f = standard_schema().field_named("dst_port")
+        assert f.parse_value_set("smtp") == IntervalSet.single(25)
+
+    def test_protocol_field_vocabulary(self):
+        f = standard_schema().field_named("protocol")
+        assert f.parse_value_set("tcp") == IntervalSet.single(6)
+
+
+class TestFieldSchema:
+    def test_standard_schema_shape(self):
+        schema = standard_schema()
+        assert len(schema) == 5
+        assert [f.name for f in schema] == [
+            "src_ip", "dst_ip", "src_port", "dst_port", "protocol",
+        ]
+
+    def test_interface_schema_shape(self):
+        schema = interface_schema()
+        assert [f.symbol for f in schema] == ["I", "S", "D", "N", "P"]
+        assert schema[0].max_value == 1
+        assert schema[4].max_value == 1
+
+    def test_universe_size(self):
+        assert toy_schema(9, 9).universe_size() == 100
+
+    def test_index_of(self):
+        schema = standard_schema()
+        assert schema.index_of("dst_port") == 3
+        with pytest.raises(SchemaError):
+            schema.index_of("nope")
+
+    def test_duplicate_names_rejected(self):
+        f = Field("x", FieldKind.GENERIC, 9)
+        with pytest.raises(SchemaError):
+            FieldSchema((f, f))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSchema(())
+
+    def test_reordered(self):
+        schema = toy_schema(9, 19)
+        reordered = schema.reordered(["F2", "F1"])
+        assert reordered[0].max_value == 19
+        with pytest.raises(SchemaError):
+            schema.reordered(["F1"])
+
+    def test_equality_and_hash(self):
+        assert toy_schema(9, 9) == toy_schema(9, 9)
+        assert toy_schema(9, 9) != toy_schema(9, 8)
+        assert hash(toy_schema(9, 9)) == hash(toy_schema(9, 9))

@@ -1,0 +1,127 @@
+"""Unit tests for :class:`repro.intervals.interval.Interval`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import IntervalError
+from repro.intervals import Interval
+
+from tests.conftest import intervals
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        iv = Interval(2, 5)
+        assert iv.lo == 2 and iv.hi == 5
+
+    def test_single_point(self):
+        assert Interval(7, 7).is_single()
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(5, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(-1, 5)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(1.5, 5)  # type: ignore[arg-type]
+
+    def test_immutable(self):
+        iv = Interval(1, 2)
+        with pytest.raises(AttributeError):
+            iv.lo = 0  # type: ignore[misc]
+
+
+class TestQueries:
+    def test_len_and_iter(self):
+        iv = Interval(3, 6)
+        assert len(iv) == 4
+        assert list(iv) == [3, 4, 5, 6]
+
+    def test_contains(self):
+        iv = Interval(3, 6)
+        assert 3 in iv and 6 in iv
+        assert 2 not in iv and 7 not in iv
+
+    def test_ordering(self):
+        assert Interval(1, 4) < Interval(2, 3)
+        assert Interval(1, 3) < Interval(1, 4)
+
+
+class TestRelations:
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(5, 9))
+        assert not Interval(0, 4).overlaps(Interval(5, 9))
+
+    def test_touches_adjacent(self):
+        assert Interval(0, 4).touches(Interval(5, 9))
+        assert not Interval(0, 3).touches(Interval(5, 9))
+
+    def test_contains_interval(self):
+        assert Interval(0, 9).contains_interval(Interval(2, 5))
+        assert not Interval(2, 5).contains_interval(Interval(0, 9))
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 2).intersect(Interval(3, 9)) is None
+
+    def test_subtract_middle_hole(self):
+        assert Interval(0, 9).subtract(Interval(3, 5)) == (
+            Interval(0, 2),
+            Interval(6, 9),
+        )
+
+    def test_subtract_disjoint(self):
+        assert Interval(0, 2).subtract(Interval(5, 9)) == (Interval(0, 2),)
+
+    def test_subtract_total(self):
+        assert Interval(3, 5).subtract(Interval(0, 9)) == ()
+
+    def test_merge(self):
+        assert Interval(0, 4).merge(Interval(5, 9)) == Interval(0, 9)
+
+    def test_merge_non_touching_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(0, 3).merge(Interval(5, 9))
+
+    def test_split_at(self):
+        assert Interval(0, 9).split_at(4) == (Interval(0, 4), Interval(5, 9))
+
+    def test_split_at_bounds_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(0, 9).split_at(9)
+        with pytest.raises(IntervalError):
+            Interval(3, 9).split_at(2)
+
+
+class TestProperties:
+    @given(intervals(100), intervals(100))
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals(100), intervals(100))
+    def test_subtract_disjoint_from_subtrahend(self, a, b):
+        for piece in a.subtract(b):
+            assert not piece.overlaps(b)
+
+    @given(intervals(100), intervals(100))
+    def test_subtract_preserves_membership(self, a, b):
+        kept = set()
+        for piece in a.subtract(b):
+            kept.update(piece)
+        assert kept == set(a) - set(b)
+
+    @given(intervals(50))
+    def test_split_rejoins(self, iv):
+        if iv.is_single():
+            return
+        left, right = iv.split_at(iv.lo)
+        assert left.merge(right) == iv
+
+    def test_str_forms(self):
+        assert str(Interval(5, 5)) == "5"
+        assert str(Interval(2, 5)) == "[2, 5]"

@@ -1,0 +1,154 @@
+"""Unit and property tests for :class:`repro.intervals.IntervalSet`."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import IntervalError
+from repro.intervals import Interval, IntervalSet
+from repro.intervals.intervalset import checkpoints
+
+from tests.conftest import interval_sets
+
+
+class TestCanonicalization:
+    def test_merges_touching(self):
+        s = IntervalSet.of((0, 4), (5, 9))
+        assert s.intervals == (Interval(0, 9),)
+
+    def test_merges_overlapping(self):
+        s = IntervalSet.of((0, 6), (4, 9))
+        assert s.intervals == (Interval(0, 9),)
+
+    def test_keeps_gaps(self):
+        s = IntervalSet.of((0, 3), (5, 9))
+        assert len(s.intervals) == 2
+
+    def test_sorts(self):
+        s = IntervalSet.of((8, 9), (0, 1))
+        assert s.intervals == (Interval(0, 1), Interval(8, 9))
+
+    def test_equality_is_canonical(self):
+        assert IntervalSet.of((0, 4), (5, 9)) == IntervalSet.of((0, 9))
+        assert hash(IntervalSet.of((0, 4), (5, 9))) == hash(IntervalSet.of((0, 9)))
+
+    def test_from_values(self):
+        s = IntervalSet.from_values([5, 3, 4, 9])
+        assert s == IntervalSet.of((3, 5), 9)
+
+
+class TestQueries:
+    def test_membership_binary_search(self):
+        s = IntervalSet.of((0, 3), (10, 12), (20, 29))
+        for member in (0, 3, 11, 25, 29):
+            assert member in s
+        for non_member in (4, 9, 13, 30):
+            assert non_member not in s
+
+    def test_count_vs_len(self):
+        s = IntervalSet.of((0, 3), (10, 12))
+        assert len(s) == 2  # component intervals
+        assert s.count() == 7  # cardinality
+
+    def test_min_max(self):
+        s = IntervalSet.of((5, 9), (20, 21))
+        assert s.min() == 5 and s.max() == 21
+
+    def test_min_empty_raises(self):
+        with pytest.raises(IntervalError):
+            IntervalSet.empty().min()
+
+    def test_iteration(self):
+        assert list(IntervalSet.of((0, 2), 5)) == [0, 1, 2, 5]
+
+    def test_bool(self):
+        assert IntervalSet.of((0, 1))
+        assert not IntervalSet.empty()
+
+    def test_sample_in_set(self):
+        rng = random.Random(0)
+        s = IntervalSet.of((0, 3), (100, 120))
+        for _ in range(50):
+            assert s.sample(rng) in s
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(IntervalError):
+            IntervalSet.empty().sample(random.Random(0))
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert IntervalSet.of((0, 3)) | IntervalSet.of((2, 9)) == IntervalSet.of((0, 9))
+
+    def test_intersect(self):
+        a = IntervalSet.of((0, 5), (10, 15))
+        b = IntervalSet.of((4, 11))
+        assert (a & b) == IntervalSet.of((4, 5), (10, 11))
+
+    def test_subtract(self):
+        a = IntervalSet.of((0, 9))
+        b = IntervalSet.of((2, 3), (7, 8))
+        assert (a - b) == IntervalSet.of((0, 1), (4, 6), 9)
+
+    def test_subtract_everything(self):
+        assert (IntervalSet.of((3, 5)) - IntervalSet.of((0, 9))).is_empty()
+
+    def test_complement(self):
+        universe = IntervalSet.span(0, 9)
+        assert IntervalSet.of((2, 4)).complement(universe) == IntervalSet.of((0, 1), (5, 9))
+
+    def test_issubset(self):
+        assert IntervalSet.of((2, 3), 7).issubset(IntervalSet.of((0, 9)))
+        assert not IntervalSet.of((2, 11)).issubset(IntervalSet.of((0, 9)))
+
+    def test_isdisjoint(self):
+        assert IntervalSet.of((0, 3)).isdisjoint(IntervalSet.of((4, 9)))
+        assert not IntervalSet.of((0, 4)).isdisjoint(IntervalSet.of((4, 9)))
+
+
+class TestProperties:
+    @given(interval_sets(60), interval_sets(60))
+    def test_union_matches_set_semantics(self, a, b):
+        assert set(a | b) == set(a) | set(b)
+
+    @given(interval_sets(60), interval_sets(60))
+    def test_intersection_matches_set_semantics(self, a, b):
+        assert set(a & b) == set(a) & set(b)
+
+    @given(interval_sets(60), interval_sets(60))
+    def test_difference_matches_set_semantics(self, a, b):
+        assert set(a - b) == set(a) - set(b)
+
+    @given(interval_sets(60), interval_sets(60))
+    def test_de_morgan(self, a, b):
+        universe = IntervalSet.span(0, 60)
+        left = universe - (a | b)
+        right = (universe - a) & (universe - b)
+        assert left == right
+
+    @given(interval_sets(60))
+    def test_canonical_form_invariants(self, s):
+        previous_hi = -2
+        for iv in s.intervals:
+            assert iv.lo > previous_hi + 1  # disjoint and non-touching
+            previous_hi = iv.hi
+
+    @given(interval_sets(60), interval_sets(60))
+    def test_subset_iff_subtract_empty(self, a, b):
+        assert a.issubset(b) == (a - b).is_empty()
+
+    @given(interval_sets(60), interval_sets(60))
+    def test_disjoint_iff_intersection_empty(self, a, b):
+        assert a.isdisjoint(b) == (a & b).is_empty()
+
+
+def test_checkpoints():
+    sets = [IntervalSet.of((0, 4), (9, 9)), IntervalSet.of((2, 7))]
+    assert checkpoints(sets) == [0, 2, 4, 7, 9]
+
+
+def test_repr_round_trip():
+    s = IntervalSet.of((0, 4), 9)
+    assert eval(repr(s)) == s

@@ -1,0 +1,64 @@
+"""Unit tests for decisions."""
+
+import pytest
+
+from repro.policy import (
+    ACCEPT,
+    ACCEPT_LOG,
+    DISCARD,
+    DISCARD_LOG,
+    STANDARD_DECISIONS,
+    Decision,
+    parse_decision,
+)
+
+
+class TestDecision:
+    def test_permits_flag(self):
+        assert ACCEPT.permits and ACCEPT_LOG.permits
+        assert not DISCARD.permits and not DISCARD_LOG.permits
+
+    def test_short_codes(self):
+        assert ACCEPT.short == "a" and DISCARD.short == "d"
+
+    def test_str(self):
+        assert str(ACCEPT) == "accept"
+        assert str(DISCARD_LOG) == "discard+log"
+
+    def test_custom_decisions_allowed(self):
+        quarantine = Decision("quarantine", False)
+        assert quarantine != DISCARD
+        assert not quarantine.permits
+
+    def test_standard_tuple(self):
+        assert len(STANDARD_DECISIONS) == 4
+
+    def test_hashable_value_semantics(self):
+        assert Decision("accept", True) == ACCEPT
+        assert hash(Decision("accept", True)) == hash(ACCEPT)
+
+
+class TestParseDecision:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("accept", ACCEPT),
+            ("ACCEPT", ACCEPT),
+            ("a", ACCEPT),
+            ("permit", ACCEPT),
+            ("pass", ACCEPT),
+            ("allow", ACCEPT),
+            ("discard", DISCARD),
+            ("deny", DISCARD),
+            ("drop", DISCARD),
+            ("reject", DISCARD),
+            ("accept+log", ACCEPT_LOG),
+            ("discard_log", DISCARD_LOG),
+        ],
+    )
+    def test_spellings(self, text, expected):
+        assert parse_decision(text) is expected
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            parse_decision("shrug")

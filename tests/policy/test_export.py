@@ -1,0 +1,126 @@
+"""Tests for the iptables / Cisco-ACL exporters."""
+
+import pytest
+
+from repro.exceptions import PolicyError
+from repro.fields import standard_schema, toy_schema
+from repro.policy import (
+    ACCEPT,
+    ACCEPT_LOG,
+    DISCARD,
+    Firewall,
+    Rule,
+    to_cisco_acl,
+    to_iptables,
+)
+
+SCHEMA = standard_schema()
+
+
+def fw(*rules, **kwargs):
+    return Firewall(SCHEMA, rules, **kwargs)
+
+
+def r(decision, comment="", **conjuncts):
+    return Rule.build(SCHEMA, decision, comment, **conjuncts)
+
+
+BASIC = fw(
+    r(DISCARD, "malicious", src_ip="224.168.0.0/16"),
+    r(ACCEPT, "smtp in", dst_ip="192.168.0.1", dst_port=25, protocol="tcp"),
+    r(ACCEPT),
+    name="edge policy",
+)
+
+
+class TestIptables:
+    def test_structure(self):
+        text = to_iptables(BASIC)
+        lines = text.strip().splitlines()
+        assert lines[0] == "*filter"
+        assert lines[1] == ":FORWARD ACCEPT [0:0]"
+        assert lines[-1] == "COMMIT"
+
+    def test_catchall_becomes_policy(self):
+        text = to_iptables(fw(r(DISCARD)))
+        assert ":FORWARD DROP" in text
+        assert "-A FORWARD" not in text  # no per-rule lines needed
+
+    def test_rule_rendering(self):
+        text = to_iptables(BASIC)
+        assert "-s 224.168.0.0/16" in text
+        assert "-d 192.168.0.1" in text or "-d 192.168.0.1/32" in text
+        assert "-p tcp" in text and "--dport 25" in text
+        assert '--comment "malicious"' in text
+
+    def test_port_without_protocol_expands(self):
+        text = to_iptables(fw(r(DISCARD, dst_port=53), r(ACCEPT)))
+        assert "-p tcp" in text and "-p udp" in text
+
+    def test_port_range(self):
+        text = to_iptables(fw(r(DISCARD, dst_port="1024-2048", protocol="tcp"), r(ACCEPT)))
+        assert "--dport 1024:2048" in text
+
+    def test_log_decision_adds_log_target(self):
+        text = to_iptables(fw(r(ACCEPT_LOG, src_ip="10.0.0.0/8"), r(DISCARD)))
+        assert "-j LOG" in text and "-j ACCEPT" in text
+
+    def test_ports_skipped_for_non_port_protocols(self):
+        # icmp with a dport constraint: no valid line can be emitted.
+        text = to_iptables(fw(r(DISCARD, dst_port=8, protocol="icmp"), r(ACCEPT)))
+        assert "-p icmp" not in text
+
+    def test_chain_override(self):
+        text = to_iptables(BASIC, chain="INPUT")
+        assert ":INPUT ACCEPT" in text and "-A INPUT" in text
+
+    def test_requires_standard_schema(self):
+        other = toy_schema(9, 9)
+        alien = Firewall(other, [Rule.build(other, ACCEPT)])
+        with pytest.raises(PolicyError):
+            to_iptables(alien)
+
+    def test_multi_interval_sources_expand(self):
+        rule = r(DISCARD, src_ip="10.0.0.0/8, 172.16.0.0/12")
+        text = to_iptables(fw(rule, r(ACCEPT)))
+        assert "-s 10.0.0.0/8" in text and "-s 172.16.0.0/12" in text
+
+
+class TestCiscoAcl:
+    def test_structure(self):
+        text = to_cisco_acl(BASIC)
+        lines = text.strip().splitlines()
+        assert lines[0] == "ip access-list extended edge_policy"
+        assert lines[-1].strip().startswith("permit ip any any")
+
+    def test_wildcard_masks(self):
+        text = to_cisco_acl(BASIC)
+        assert "deny ip 224.168.0.0 0.0.255.255 any" in text
+
+    def test_host_and_eq(self):
+        text = to_cisco_acl(BASIC)
+        assert "permit tcp any host 192.168.0.1 eq 25" in text
+
+    def test_range(self):
+        text = to_cisco_acl(
+            fw(r(DISCARD, dst_port="1024-2048", protocol="tcp"), r(ACCEPT))
+        )
+        assert "range 1024 2048" in text
+
+    def test_remark_from_comment(self):
+        text = to_cisco_acl(BASIC)
+        assert "remark malicious" in text
+
+    def test_log_option(self):
+        text = to_cisco_acl(fw(r(ACCEPT_LOG, src_ip="10.0.0.0/8"), r(DISCARD)))
+        assert " log" in text
+
+    def test_name_override(self):
+        text = to_cisco_acl(BASIC, name="EDGE")
+        assert "ip access-list extended EDGE" in text
+
+    def test_requires_standard_schema(self):
+        other = toy_schema(9, 9)
+        alien = Firewall(other, [Rule.build(other, ACCEPT)])
+        with pytest.raises(PolicyError):
+            to_cisco_acl(alien)

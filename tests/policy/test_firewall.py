@@ -1,0 +1,157 @@
+"""Unit and property tests for firewalls (rule lists, first-match)."""
+
+import pytest
+from hypothesis import given
+
+from repro.exceptions import NotComprehensiveError, PolicyError, SchemaError
+from repro.fields import enumerate_universe, toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+
+from tests.conftest import firewalls
+
+SCHEMA = toy_schema(9, 9)
+
+
+def fw(*rules, **kwargs):
+    return Firewall(SCHEMA, rules, **kwargs)
+
+
+def r(decision, **conjuncts):
+    return Rule.build(SCHEMA, decision, **conjuncts)
+
+
+class TestConstruction:
+    def test_needs_rules(self):
+        with pytest.raises(PolicyError):
+            Firewall(SCHEMA, [])
+
+    def test_comprehensiveness_enforced(self):
+        with pytest.raises(NotComprehensiveError) as excinfo:
+            fw(r(ACCEPT, F1="0-3"))
+        assert excinfo.value.witness is not None
+
+    def test_catchall_fast_path(self):
+        firewall = fw(r(ACCEPT, F1="0-3"), r(DISCARD))
+        assert firewall.is_comprehensive()
+        assert firewall.has_catchall()
+
+    def test_comprehensive_without_catchall(self):
+        # Two rules covering complementary halves: no catch-all, but
+        # comprehensive — the symbolic check must prove it.
+        firewall = fw(r(ACCEPT, F1="0-4"), r(DISCARD, F1="5-9"))
+        assert firewall.is_comprehensive()
+        assert not firewall.has_catchall()
+
+    def test_schema_mismatch_rejected(self):
+        other = toy_schema(9, 9, 9)
+        alien = Rule.build(other, ACCEPT)
+        with pytest.raises(SchemaError):
+            Firewall(SCHEMA, [alien])
+
+    def test_witness_is_truly_unmatched(self):
+        try:
+            fw(r(ACCEPT, F1="1-9"), r(DISCARD, F2="1-9"))
+        except NotComprehensiveError as exc:
+            assert exc.witness == (0, 0)
+        else:
+            pytest.fail("expected NotComprehensiveError")
+
+
+class TestFirstMatch:
+    def test_first_match_wins(self):
+        firewall = fw(
+            r(ACCEPT, F1="0-5"),
+            r(DISCARD, F1="3-9"),
+            r(DISCARD),
+        )
+        assert firewall((4, 0)) == ACCEPT  # rule 1 shadows rule 2 here
+        assert firewall((7, 0)) == DISCARD
+
+    def test_first_match_index(self):
+        firewall = fw(r(ACCEPT, F1="0-5"), r(DISCARD))
+        assert firewall.first_match_index((3, 3)) == 0
+        assert firewall.first_match_index((8, 3)) == 1
+
+    def test_decisions_listing(self):
+        firewall = fw(r(ACCEPT, F1="0-5"), r(ACCEPT, F2="1"), r(DISCARD))
+        assert firewall.decisions() == (ACCEPT, DISCARD)
+
+
+class TestEdits:
+    def test_insert_and_remove(self):
+        firewall = fw(r(DISCARD))
+        grown = firewall.insert(0, r(ACCEPT, F1="0-3"))
+        assert len(grown) == 2
+        assert grown((1, 1)) == ACCEPT
+        shrunk = grown.remove(0)
+        assert shrunk((1, 1)) == DISCARD
+
+    def test_prepend_append(self):
+        firewall = fw(r(DISCARD))
+        both = firewall.prepend(r(ACCEPT, F1="0")).append(r(ACCEPT))
+        assert len(both) == 3
+        assert both[0].decision == ACCEPT
+
+    def test_replace(self):
+        firewall = fw(r(ACCEPT, F1="0-3"), r(DISCARD))
+        swapped = firewall.replace(0, r(DISCARD, F1="0-3"))
+        assert swapped((1, 1)) == DISCARD
+
+    def test_move(self):
+        firewall = fw(r(ACCEPT, F1="0-5"), r(DISCARD, F1="3-9"), r(ACCEPT))
+        moved = firewall.move(1, 0)
+        assert moved((4, 0)) == DISCARD  # the discard rule now fires first
+
+    def test_edit_bounds(self):
+        firewall = fw(r(DISCARD))
+        with pytest.raises(PolicyError):
+            firewall.remove(5)
+        with pytest.raises(PolicyError):
+            firewall.insert(9, r(ACCEPT))
+        with pytest.raises(PolicyError):
+            firewall.move(0, 7)
+
+    def test_remove_enforces_comprehensiveness(self):
+        firewall = fw(r(ACCEPT, F1="0-3"), r(DISCARD))
+        with pytest.raises(NotComprehensiveError):
+            firewall.remove(1)
+
+    def test_edits_return_new_objects(self):
+        firewall = fw(r(DISCARD))
+        assert firewall.prepend(r(ACCEPT)) is not firewall
+        assert len(firewall) == 1  # unchanged
+
+
+class TestValueSemantics:
+    def test_syntactic_equality(self):
+        a = fw(r(ACCEPT, F1="0-3"), r(DISCARD))
+        b = fw(r(ACCEPT, F1="0-3"), r(DISCARD))
+        assert a == b and hash(a) == hash(b)
+
+    def test_name_not_semantic(self):
+        a = fw(r(DISCARD), name="x")
+        b = fw(r(DISCARD), name="y")
+        assert a == b  # names are display-only
+
+    def test_describe(self):
+        firewall = fw(r(ACCEPT, F1="0-3"), r(DISCARD), name="demo")
+        text = firewall.describe()
+        assert "demo" in text and "r1:" in text and "r2:" in text
+
+
+class TestProperties:
+    @given(firewalls(SCHEMA))
+    def test_every_packet_gets_a_decision(self, firewall):
+        for packet in enumerate_universe(SCHEMA):
+            decision = firewall(packet)
+            assert decision is not None
+
+    @given(firewalls(SCHEMA))
+    def test_evaluation_agrees_with_manual_first_match(self, firewall):
+        for packet in list(enumerate_universe(SCHEMA))[::7]:
+            expected = None
+            for rule in firewall.rules:
+                if rule.matches(packet):
+                    expected = rule.decision
+                    break
+            assert firewall(packet) == expected

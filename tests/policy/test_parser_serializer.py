@@ -1,0 +1,145 @@
+"""Tests for the textual policy format: parse, serialize, round-trip."""
+
+import pytest
+from hypothesis import given
+
+from repro.exceptions import ParseError
+from repro.fields import standard_schema, toy_schema
+from repro.policy import (
+    ACCEPT,
+    DISCARD,
+    Firewall,
+    Rule,
+    dumps,
+    loads,
+    parse_rule,
+    rule_to_text,
+    to_table,
+)
+from repro.synth import team_a_firewall, team_b_firewall
+
+from tests.conftest import firewalls
+
+SCHEMA = standard_schema()
+
+
+class TestParseRule:
+    def test_basic(self):
+        rule = parse_rule("dst_ip=10.0.0.0/8, dst_port=smtp -> accept", SCHEMA)
+        assert rule.decision == ACCEPT
+        assert rule.predicate.field_set("dst_port").min() == 25
+
+    def test_any(self):
+        rule = parse_rule("any -> deny", SCHEMA)
+        assert rule.predicate.is_match_all()
+        assert rule.decision == DISCARD
+
+    def test_comment_preserved(self):
+        rule = parse_rule("any -> accept # default allow", SCHEMA)
+        assert rule.comment == "default allow"
+
+    def test_alternatives_with_pipe(self):
+        rule = parse_rule("dst_port=80|443 -> accept", SCHEMA)
+        assert rule.predicate.field_set("dst_port").count() == 2
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_rule("dst_port=80 accept", SCHEMA)
+
+    def test_bad_decision(self):
+        with pytest.raises(ParseError):
+            parse_rule("any -> maybe", SCHEMA)
+
+    def test_unknown_field(self):
+        with pytest.raises(ParseError):
+            parse_rule("nope=1 -> accept", SCHEMA)
+
+    def test_duplicate_field(self):
+        with pytest.raises(ParseError):
+            parse_rule("dst_port=80, dst_port=443 -> accept", SCHEMA)
+
+    def test_line_number_in_error(self):
+        with pytest.raises(ParseError) as excinfo:
+            loads("firewall schema=standard\nany -> nonsense\n")
+        assert excinfo.value.line == 2
+
+
+class TestLoads:
+    DOC = """
+    # sample policy
+    firewall "edge" schema=standard
+    src_ip=224.168.0.0/16 -> discard     # malicious domain
+    dst_ip=192.168.0.1, dst_port=smtp, protocol=tcp -> accept
+    any -> accept
+    """
+
+    def test_document(self):
+        firewall = loads(self.DOC)
+        assert firewall.name == "edge"
+        assert len(firewall) == 3
+        assert firewall.rules[0].comment == "malicious domain"
+
+    def test_needs_schema(self):
+        with pytest.raises(ParseError):
+            loads("any -> accept")
+
+    def test_explicit_schema_argument(self):
+        schema = toy_schema(9, 9)
+        firewall = loads("F1=0-3 -> deny\nany -> accept", schema)
+        assert firewall((2, 2)) == DISCARD
+
+    def test_empty_document(self):
+        with pytest.raises(ParseError):
+            loads("", SCHEMA)
+
+    def test_unknown_schema_key(self):
+        with pytest.raises(ParseError):
+            loads('firewall schema=imaginary\nany -> accept')
+
+    def test_header_variants(self):
+        firewall = loads('firewall schema=interface\nany -> accept')
+        assert firewall.name == ""
+        assert len(firewall.schema) == 5
+
+
+class TestRoundTrip:
+    def test_paper_firewalls_round_trip(self):
+        for original in (team_a_firewall(), team_b_firewall()):
+            text = dumps(original)
+            parsed = loads(text, original.schema)
+            assert parsed.rules == original.rules
+
+    def test_dumps_with_header(self):
+        firewall = loads(TestLoads.DOC)
+        text = dumps(firewall, schema_key="standard")
+        reparsed = loads(text)
+        assert reparsed.rules == firewall.rules
+        assert reparsed.name == firewall.name
+
+    @given(firewalls(toy_schema(9, 9)))
+    def test_random_firewalls_round_trip(self, firewall):
+        text = dumps(firewall)
+        parsed = loads(text, firewall.schema)
+        assert parsed.rules == firewall.rules
+
+    def test_load_dump_file(self, tmp_path):
+        from repro.policy import dump, load
+
+        path = tmp_path / "policy.fw"
+        original = team_b_firewall()
+        dump(original, path, schema_key="interface")
+        assert load(path).rules == original.rules
+
+
+class TestToTable:
+    def test_table_shape(self):
+        table = to_table(team_a_firewall())
+        lines = table.splitlines()
+        assert lines[0] == "Team A"
+        assert lines[1].split() == ["rule", "I", "S", "D", "N", "P", "decision"]
+        assert len(lines) == 6  # title + header + separator + 3 rules
+
+    def test_all_cells(self):
+        table = to_table(team_a_firewall())
+        assert "224.168.0.0/16" in table
+        assert "all" in table

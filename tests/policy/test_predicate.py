@@ -1,0 +1,145 @@
+"""Unit and property tests for predicates."""
+
+import pytest
+from hypothesis import given
+
+from repro.exceptions import PolicyError, SchemaError
+from repro.fields import enumerate_universe, standard_schema, toy_schema
+from repro.intervals import Interval, IntervalSet
+from repro.policy import Predicate
+
+from tests.conftest import predicates
+
+SCHEMA = toy_schema(9, 9)
+
+
+class TestConstruction:
+    def test_match_all(self):
+        p = Predicate.match_all(SCHEMA)
+        assert p.is_match_all()
+        assert p.size() == 100
+
+    def test_empty_conjunct_rejected(self):
+        with pytest.raises(PolicyError):
+            Predicate(SCHEMA, (IntervalSet.empty(), IntervalSet.span(0, 9)))
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Predicate(SCHEMA, (IntervalSet.span(0, 10), IntervalSet.span(0, 9)))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Predicate(SCHEMA, (IntervalSet.span(0, 9),))
+
+    def test_from_fields_variants(self):
+        p = Predicate.from_fields(
+            SCHEMA,
+            F1=IntervalSet.of((1, 2)),
+            F2=5,
+        )
+        assert p.field_set("F1") == IntervalSet.of((1, 2))
+        assert p.field_set("F2") == IntervalSet.single(5)
+
+    def test_from_fields_interval_and_string(self):
+        p = Predicate.from_fields(SCHEMA, F1=Interval(3, 4), F2="6-8")
+        assert p.field_set("F1") == IntervalSet.of((3, 4))
+        assert p.field_set("F2") == IntervalSet.of((6, 8))
+
+    def test_from_fields_unknown_field(self):
+        with pytest.raises(SchemaError):
+            Predicate.from_fields(SCHEMA, nope=1)
+
+    def test_from_fields_default_is_domain(self):
+        p = Predicate.from_fields(SCHEMA, F1=1)
+        assert p.field_set("F2") == IntervalSet.span(0, 9)
+
+
+class TestSemantics:
+    def test_matches(self):
+        p = Predicate.from_fields(SCHEMA, F1="2-4", F2="7")
+        assert p.matches((3, 7))
+        assert not p.matches((5, 7))
+        assert not p.matches((3, 8))
+
+    def test_size(self):
+        p = Predicate.from_fields(SCHEMA, F1="2-4", F2="7-8")
+        assert p.size() == 6
+
+    def test_is_simple(self):
+        assert Predicate.from_fields(SCHEMA, F1="2-4").is_simple()
+        assert not Predicate.from_fields(SCHEMA, F1="2-4, 7").is_simple()
+
+    def test_intersect(self):
+        a = Predicate.from_fields(SCHEMA, F1="0-5")
+        b = Predicate.from_fields(SCHEMA, F1="3-9", F2="1")
+        both = a.intersect(b)
+        assert both is not None
+        assert both.field_set("F1") == IntervalSet.of((3, 5))
+        assert both.field_set("F2") == IntervalSet.single(1)
+
+    def test_intersect_empty(self):
+        a = Predicate.from_fields(SCHEMA, F1="0-2")
+        b = Predicate.from_fields(SCHEMA, F1="5-9")
+        assert a.intersect(b) is None
+
+    def test_implies_and_overlaps(self):
+        small = Predicate.from_fields(SCHEMA, F1="2-3", F2="5")
+        big = Predicate.from_fields(SCHEMA, F1="0-5")
+        assert small.implies(big)
+        assert not big.implies(small)
+        assert small.overlaps(big)
+
+    def test_schema_mismatch(self):
+        other = toy_schema(9, 9, 9)
+        with pytest.raises(SchemaError):
+            Predicate.match_all(SCHEMA).intersect(Predicate.match_all(other))
+
+    def test_split_simple_partitions(self):
+        p = Predicate.from_fields(SCHEMA, F1="0-1, 4-5", F2="0, 9")
+        pieces = list(p.split_simple())
+        assert len(pieces) == 4
+        assert all(piece.is_simple() for piece in pieces)
+        total = sum(piece.size() for piece in pieces)
+        assert total == p.size()
+
+
+class TestProperties:
+    @given(predicates(SCHEMA), predicates(SCHEMA))
+    def test_intersection_semantics(self, a, b):
+        both = a.intersect(b)
+        for packet in enumerate_universe(SCHEMA):
+            expected = a.matches(packet) and b.matches(packet)
+            actual = both is not None and both.matches(packet)
+            assert expected == actual
+
+    @given(predicates(SCHEMA), predicates(SCHEMA))
+    def test_implies_semantics(self, a, b):
+        if a.implies(b):
+            for packet in enumerate_universe(SCHEMA):
+                if a.matches(packet):
+                    assert b.matches(packet)
+
+    @given(predicates(SCHEMA))
+    def test_size_counts_matching_packets(self, p):
+        matching = sum(1 for packet in enumerate_universe(SCHEMA) if p.matches(packet))
+        assert matching == p.size()
+
+
+class TestPresentation:
+    def test_describe_skips_all(self):
+        p = Predicate.from_fields(SCHEMA, F2="5")
+        assert p.describe() == "F2=5"
+
+    def test_describe_match_all(self):
+        assert Predicate.match_all(SCHEMA).describe() == "any"
+
+    def test_describe_real_vocabulary(self):
+        schema = standard_schema()
+        p = Predicate.from_fields(schema, dst_ip="192.168.0.1", dst_port="smtp")
+        assert "dst_ip=192.168.0.1" in p.describe()
+        assert "dst_port=25 (smtp)" in p.describe()
+
+    def test_hash_and_eq(self):
+        a = Predicate.from_fields(SCHEMA, F1="1-2")
+        b = Predicate.from_fields(SCHEMA, F1="1-2")
+        assert a == b and hash(a) == hash(b)

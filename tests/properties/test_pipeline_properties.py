@@ -1,0 +1,151 @@
+"""Cross-cutting, metamorphic properties of the whole pipeline.
+
+These go beyond per-module checks: relations that must hold *between*
+operations (symmetry, triangle containment, perturbation ground truth),
+on multi-decision policies and three-field schemas, plus sampled checks
+on the real five-field schema where enumeration is impossible.
+"""
+
+from hypothesis import given, settings
+
+from repro.analysis import aggregate_discrepancies, analyze_change, equivalent
+from repro.fdd import compare_firewalls, construct_fdd, generate_firewall, reduce_fdd
+from repro.fdd.fast import compare_fast
+from repro.fields import PacketSampler, enumerate_universe, toy_schema
+from repro.synth import SyntheticFirewallGenerator, flip_decision, perturb
+
+from tests.conftest import brute_force_diff, covered_packets, firewalls
+
+SCHEMA = toy_schema(9, 9)
+SCHEMA3 = toy_schema(5, 5, 5)
+
+
+class TestSymmetryAndComposition:
+    @given(firewalls(SCHEMA, max_rules=4), firewalls(SCHEMA, max_rules=4))
+    @settings(max_examples=25, deadline=None)
+    def test_comparison_is_symmetric(self, fw_a, fw_b):
+        forward = compare_firewalls(fw_a, fw_b)
+        backward = compare_firewalls(fw_b, fw_a)
+        assert covered_packets(forward) == covered_packets(backward)
+        # Decisions swap sides.
+        forward_pairs = {
+            (tuple(d.sets), d.decision_a, d.decision_b) for d in forward
+        }
+        backward_pairs = {
+            (tuple(d.sets), d.decision_b, d.decision_a) for d in backward
+        }
+        assert forward_pairs == backward_pairs
+
+    @given(
+        firewalls(SCHEMA, max_rules=3),
+        firewalls(SCHEMA, max_rules=3),
+        firewalls(SCHEMA, max_rules=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_triangle_containment(self, fa, fb, fc):
+        """Packets where a and c disagree must show up in a-vs-b or b-vs-c."""
+        ac = covered_packets(compare_firewalls(fa, fc))
+        ab = covered_packets(compare_firewalls(fa, fb))
+        bc = covered_packets(compare_firewalls(fb, fc))
+        assert ac <= (ab | bc)
+
+    @given(firewalls(SCHEMA, max_rules=4), firewalls(SCHEMA, max_rules=4))
+    @settings(max_examples=20, deadline=None)
+    def test_impact_noop_iff_equivalent(self, fw_a, fw_b):
+        report = analyze_change(fw_a, fw_b)
+        assert report.is_noop == equivalent(fw_a, fw_b)
+
+    @given(firewalls(SCHEMA, max_rules=4), firewalls(SCHEMA, max_rules=4))
+    @settings(max_examples=20, deadline=None)
+    def test_aggregation_idempotent(self, fw_a, fw_b):
+        once = aggregate_discrepancies(compare_firewalls(fw_a, fw_b))
+        twice = aggregate_discrepancies(once)
+        assert [(d.sets, d.decision_a, d.decision_b) for d in once] == [
+            (d.sets, d.decision_a, d.decision_b) for d in twice
+        ]
+
+
+class TestPerturbationGroundTruth:
+    @given(firewalls(SCHEMA3, max_rules=4, include_log=True))
+    @settings(max_examples=20, deadline=None)
+    def test_single_flip_discrepancies_are_the_effective_region(self, firewall):
+        """Flipping rule i's decision disputes exactly the packets whose
+        first match is rule i (its effective region)."""
+        index = len(firewall) // 2
+        flipped = firewall.replace(
+            index,
+            firewall[index].with_decision(flip_decision(firewall[index].decision)),
+        )
+        disputed = covered_packets(compare_firewalls(firewall, flipped))
+        effective = {
+            tuple(p)
+            for p in enumerate_universe(SCHEMA3)
+            if firewall.first_match_index(p) == index
+        }
+        # Equal unless the flip landed on a decision already equal (e.g.
+        # accept -> accept): then both sides are empty or identical.
+        if firewall[index].decision == flipped[index].decision:
+            assert not disputed
+        else:
+            assert disputed == effective
+
+    @given(firewalls(SCHEMA3, max_rules=4))
+    @settings(max_examples=15, deadline=None)
+    def test_deleting_shadowed_rule_is_noop(self, firewall):
+        from repro.analysis import find_upward_redundant
+
+        for index in find_upward_redundant(firewall):
+            slimmer = firewall.remove(index)
+            assert equivalent(firewall, slimmer)
+            break  # one is enough per example
+
+
+class TestRegenerationProperties:
+    @given(firewalls(SCHEMA3, max_rules=4, include_log=True))
+    @settings(max_examples=15, deadline=None)
+    def test_reduce_generate_roundtrip(self, firewall):
+        regenerated = generate_firewall(
+            reduce_fdd(construct_fdd(firewall)), compact=False
+        )
+        assert equivalent(regenerated, firewall)
+
+    @given(firewalls(SCHEMA, max_rules=4))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_firewall_never_larger_than_paths(self, firewall):
+        fdd = reduce_fdd(construct_fdd(firewall))
+        regenerated = generate_firewall(fdd, reduce=False, compact=False)
+        assert len(regenerated) <= max(1, fdd.count_paths())
+
+
+class TestRealSchemaSampled:
+    """The 2^104 universe can't be enumerated; sample instead."""
+
+    def test_engines_agree_on_sampled_packets(self):
+        fw = SyntheticFirewallGenerator(seed=51).generate(60)
+        other, _ = perturb(fw, 0.3, seed=52)
+        diff = compare_fast(fw, other)
+        sampler = PacketSampler(fw.schema, seed=53)
+        from repro.synth import BoundaryTraceGenerator
+
+        boundary = BoundaryTraceGenerator(fw, seed=54)
+        for packet in sampler.uniform_many(300) + boundary.packets(300):
+            dec_a, dec_b = diff.evaluate(packet)
+            assert dec_a == fw(packet)
+            assert dec_b == other(packet)
+
+    def test_discrepancy_regions_probe_correctly(self):
+        fw = SyntheticFirewallGenerator(seed=55).generate(40)
+        other, _ = perturb(fw, 0.25, seed=56)
+        discs = compare_firewalls(fw, other)
+        sampler = PacketSampler(fw.schema, seed=57)
+        for disc in discs[:50]:
+            packet = sampler.from_region(disc.sets)
+            assert fw(packet) == disc.decision_a
+            assert other(packet) == disc.decision_b
+
+    def test_disputed_count_matches_region_sizes(self):
+        fw = SyntheticFirewallGenerator(seed=58).generate(40)
+        other, _ = perturb(fw, 0.25, seed=59)
+        discs = compare_firewalls(fw, other)
+        fast = compare_fast(fw, other)
+        assert sum(d.size() for d in discs) == fast.disputed_packet_count()

@@ -1,0 +1,199 @@
+"""Tests for the stateful firewall model ([11])."""
+
+import pytest
+
+from repro.addr import ip_to_int
+from repro.exceptions import SchemaError
+from repro.intervals import IntervalSet
+from repro.fields import standard_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+from repro.stateful import (
+    STATE_ESTABLISHED,
+    STATE_NEW,
+    ConnectionTable,
+    FlowKey,
+    StatefulFirewall,
+    stateful_schema,
+)
+
+INSIDE = ip_to_int("10.0.0.5")
+OUTSIDE = ip_to_int("192.0.2.1")
+
+
+class TestFlowKey:
+    def test_reversed(self):
+        key = FlowKey(1, 2, 30, 40, 6)
+        rev = key.reversed()
+        assert (rev.src_ip, rev.dst_ip) == (2, 1)
+        assert (rev.src_port, rev.dst_port) == (40, 30)
+        assert rev.reversed() == key
+
+    def test_of_packet(self):
+        key = FlowKey.of_packet((1, 2, 3, 4, 5))
+        assert key == FlowKey(1, 2, 3, 4, 5)
+
+
+class TestConnectionTable:
+    def test_insert_lookup(self):
+        table = ConnectionTable(ttl=10)
+        key = FlowKey(1, 2, 3, 4, 6)
+        assert not table.lookup(key, now=0)
+        table.insert(key, now=0)
+        assert table.lookup(key, now=5)
+
+    def test_expiry(self):
+        table = ConnectionTable(ttl=10)
+        key = FlowKey(1, 2, 3, 4, 6)
+        table.insert(key, now=0)
+        assert not table.lookup(key, now=11)
+        assert len(table) == 0  # expired entry dropped on lookup
+
+    def test_lookup_refreshes(self):
+        table = ConnectionTable(ttl=10)
+        key = FlowKey(1, 2, 3, 4, 6)
+        table.insert(key, now=0)
+        assert table.lookup(key, now=9)   # refresh to 19
+        assert table.lookup(key, now=18)  # still alive
+
+    def test_capacity_eviction(self):
+        table = ConnectionTable(capacity=2, ttl=10)
+        first = FlowKey(1, 1, 1, 1, 6)
+        second = FlowKey(2, 2, 2, 2, 6)
+        third = FlowKey(3, 3, 3, 3, 6)
+        table.insert(first, now=0)
+        table.insert(second, now=5)
+        table.insert(third, now=6)  # evicts first (earliest expiry)
+        assert not table.lookup(first, now=6)
+        assert table.lookup(second, now=6)
+        assert table.lookup(third, now=6)
+
+    def test_expire_sweep(self):
+        table = ConnectionTable(ttl=10)
+        table.insert(FlowKey(1, 1, 1, 1, 6), now=0)
+        table.insert(FlowKey(2, 2, 2, 2, 6), now=100)
+        assert table.expire(now=50) == 1
+        assert len(table) == 1
+
+    def test_remove(self):
+        table = ConnectionTable()
+        key = FlowKey(1, 2, 3, 4, 6)
+        table.insert(key, now=0)
+        assert table.remove(key)
+        assert not table.remove(key)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionTable(capacity=0)
+        with pytest.raises(ValueError):
+            ConnectionTable(ttl=0)
+
+
+def gateway() -> StatefulFirewall:
+    """Canonical stateful policy: outbound free, inbound only replies."""
+    schema = stateful_schema()
+    policy = Firewall(
+        schema,
+        [
+            Rule.build(schema, ACCEPT, "return traffic", state=STATE_ESTABLISHED),
+            Rule.build(schema, ACCEPT, "outbound", src_ip="10.0.0.0/8"),
+            Rule.build(schema, DISCARD, "default deny"),
+        ],
+    )
+    tracking = [Predicate.from_fields(schema, src_ip="10.0.0.0/8")]
+    return StatefulFirewall(policy, tracking=tracking, table=ConnectionTable(ttl=60))
+
+
+class TestStatefulFirewall:
+    def test_outbound_then_reply(self):
+        fw = gateway()
+        assert fw.process((INSIDE, OUTSIDE, 4000, 80, 6), now=0.0) == ACCEPT
+        assert fw.process((OUTSIDE, INSIDE, 80, 4000, 6), now=1.0) == ACCEPT
+
+    def test_unsolicited_inbound_dropped(self):
+        fw = gateway()
+        assert fw.process((OUTSIDE, INSIDE, 80, 4000, 6), now=0.0) == DISCARD
+
+    def test_reply_after_ttl_dropped(self):
+        fw = gateway()
+        fw.process((INSIDE, OUTSIDE, 4000, 80, 6), now=0.0)
+        assert fw.process((OUTSIDE, INSIDE, 80, 4000, 6), now=61.0) == DISCARD
+
+    def test_wrong_port_reply_dropped(self):
+        fw = gateway()
+        fw.process((INSIDE, OUTSIDE, 4000, 80, 6), now=0.0)
+        assert fw.process((OUTSIDE, INSIDE, 80, 4001, 6), now=1.0) == DISCARD
+
+    def test_discarded_packets_create_no_state(self):
+        schema = stateful_schema()
+        policy = Firewall(
+            schema,
+            [
+                Rule.build(schema, ACCEPT, state=STATE_ESTABLISHED),
+                Rule.build(schema, DISCARD),
+            ],
+        )
+        fw = StatefulFirewall(
+            policy, tracking=[Predicate.match_all(schema)]
+        )
+        assert fw.process((INSIDE, OUTSIDE, 1, 2, 6), now=0.0) == DISCARD
+        assert len(fw.table) == 0
+
+    def test_simulate_stream(self):
+        fw = gateway()
+        decisions = fw.simulate(
+            [
+                (0.0, (INSIDE, OUTSIDE, 4000, 80, 6)),
+                (0.5, (OUTSIDE, INSIDE, 80, 4000, 6)),
+                (0.6, (OUTSIDE, INSIDE, 80, 9999, 6)),
+            ]
+        )
+        assert [d.name for d in decisions] == ["accept", "accept", "discard"]
+
+    def test_active_flow_outlives_ttl(self):
+        fw = gateway()
+        fw.process((INSIDE, OUTSIDE, 4000, 80, 6), now=0.0)
+        # Keep the flow alive with replies every 50s (< ttl=60).
+        for t in (50.0, 100.0, 150.0):
+            assert fw.process((OUTSIDE, INSIDE, 80, 4000, 6), now=t) == ACCEPT
+
+    def test_schema_enforced(self):
+        base = standard_schema()
+        stateless = Firewall(base, [Rule.build(base, ACCEPT)])
+        with pytest.raises(SchemaError):
+            StatefulFirewall(stateless)
+
+    def test_tracking_predicate_schema_enforced(self):
+        schema = stateful_schema()
+        policy = Firewall(schema, [Rule.build(schema, ACCEPT)])
+        alien = Predicate.match_all(standard_schema())
+        with pytest.raises(SchemaError):
+            StatefulFirewall(policy, tracking=[alien])
+
+
+class TestStatefulAnalysis:
+    def test_compare_stateful_policies(self):
+        """The paper's algorithms apply to stateful sections unchanged."""
+        from repro.fdd import compare_firewalls
+
+        schema = stateful_schema()
+        strict = Firewall(
+            schema,
+            [
+                Rule.build(schema, ACCEPT, state=STATE_ESTABLISHED),
+                Rule.build(schema, ACCEPT, src_ip="10.0.0.0/8", protocol="tcp"),
+                Rule.build(schema, DISCARD),
+            ],
+        )
+        loose = Firewall(
+            schema,
+            [
+                Rule.build(schema, ACCEPT, state=STATE_ESTABLISHED),
+                Rule.build(schema, ACCEPT, src_ip="10.0.0.0/8"),
+                Rule.build(schema, DISCARD),
+            ],
+        )
+        discs = compare_firewalls(strict, loose)
+        assert discs
+        # Every disputed packet is new (state=0) non-TCP outbound traffic.
+        for disc in discs:
+            assert disc.sets[0] == IntervalSet.single(STATE_NEW)

@@ -1,0 +1,107 @@
+"""Tests for the synthetic firewall generator ([13]-style mix)."""
+
+import pytest
+
+from repro.addr import IPV4_MAX, PORT_MAX
+from repro.intervals import IntervalSet
+from repro.synth import (
+    GeneratorConfig,
+    SyntheticFirewallGenerator,
+    generate_firewall_pair,
+)
+
+
+class TestGenerator:
+    def test_size_and_catchall(self):
+        fw = SyntheticFirewallGenerator(seed=1).generate(50)
+        assert len(fw) == 50
+        assert fw.has_catchall()
+        assert fw.rules[-1].comment == "default"
+
+    def test_deterministic(self):
+        a = SyntheticFirewallGenerator(seed=7).generate(30)
+        b = SyntheticFirewallGenerator(seed=7).generate(30)
+        assert a.rules == b.rules
+
+    def test_different_seeds_differ(self):
+        a = SyntheticFirewallGenerator(seed=7).generate(30)
+        b = SyntheticFirewallGenerator(seed=8).generate(30)
+        assert a.rules != b.rules
+
+    def test_minimum_size(self):
+        fw = SyntheticFirewallGenerator(seed=1).generate(1)
+        assert len(fw) == 1 and fw.has_catchall()
+        with pytest.raises(ValueError):
+            SyntheticFirewallGenerator(seed=1).generate(0)
+
+    def test_rule_shape_statistics(self):
+        """The configured mix must actually show up in the rules."""
+        config = GeneratorConfig()
+        fw = SyntheticFirewallGenerator(config, seed=3).generate(400)
+        src_port_wild = 0
+        protocols = {"tcp": 0, "udp": 0, "any": 0}
+        for rule in fw.rules[:-1]:
+            sets = rule.predicate.sets
+            if sets[2] == IntervalSet.span(0, PORT_MAX):
+                src_port_wild += 1
+            proto = sets[4]
+            if proto == IntervalSet.single(6):
+                protocols["tcp"] += 1
+            elif proto == IntervalSet.single(17):
+                protocols["udp"] += 1
+            else:
+                protocols["any"] += 1
+        total = len(fw) - 1
+        # Loose two-sided checks around the configured probabilities.
+        assert src_port_wild / total > 0.8
+        assert protocols["tcp"] / total > 0.5
+        assert protocols["udp"] > 0
+
+    def test_ip_fields_are_prefix_shaped(self):
+        fw = SyntheticFirewallGenerator(seed=5).generate(200)
+        for rule in fw.rules[:-1]:
+            for field_index in (0, 1):
+                values = rule.predicate.sets[field_index]
+                assert values.is_single_interval()
+                iv = values.intervals[0]
+                size = len(iv)
+                assert size & (size - 1) == 0, "IP ranges must be power-of-two blocks"
+
+    def test_pool_concentration(self):
+        """Rules reuse a bounded set of networks (the [13] observation)."""
+        config = GeneratorConfig(network_pool_size=8)
+        fw = SyntheticFirewallGenerator(config, seed=5).generate(300)
+        distinct_src = {
+            rule.predicate.sets[0]
+            for rule in fw.rules[:-1]
+            if rule.predicate.sets[0] != IntervalSet.span(0, IPV4_MAX)
+        }
+        # 8 networks x (block + a few hosts) stays far below 300.
+        assert len(distinct_src) <= 8 * (1 + config.hosts_per_network)
+
+
+class TestPair:
+    def test_pair_shares_pools_not_rules(self):
+        fw_a, fw_b = generate_firewall_pair(60, seed=2)
+        assert fw_a.rules != fw_b.rules
+        non_wild_a = {
+            rule.predicate.sets[1].intervals[0]
+            for rule in fw_a.rules[:-1]
+            if not rule.predicate.sets[1].is_single_interval()
+            or rule.predicate.sets[1].count() <= (1 << 24)
+        }
+        non_wild_b = {
+            rule.predicate.sets[1].intervals[0]
+            for rule in fw_b.rules[:-1]
+            if not rule.predicate.sets[1].is_single_interval()
+            or rule.predicate.sets[1].count() <= (1 << 24)
+        }
+        # Shared address pools: the two firewalls talk about overlapping
+        # destinations.
+        assert non_wild_a & non_wild_b
+
+    def test_pair_deterministic(self):
+        first = generate_firewall_pair(40, seed=9)
+        second = generate_firewall_pair(40, seed=9)
+        assert first[0].rules == second[0].rules
+        assert first[1].rules == second[1].rules

@@ -1,0 +1,117 @@
+"""Tests for the Fig. 12 perturbation model and the canned workloads."""
+
+import pytest
+
+from repro.analysis import equivalent
+from repro.fdd import compare_firewalls
+from repro.policy import ACCEPT, DISCARD
+from repro.synth import (
+    SyntheticFirewallGenerator,
+    average_42,
+    campus_87,
+    flip_decision,
+    perturb,
+    team_a_firewall,
+    team_b_firewall,
+    university_661,
+)
+
+
+class TestFlipDecision:
+    def test_flip(self):
+        assert flip_decision(ACCEPT) == DISCARD
+        assert flip_decision(DISCARD) == ACCEPT
+
+    def test_flip_log_variants(self):
+        from repro.policy import ACCEPT_LOG, DISCARD_LOG
+
+        assert not flip_decision(ACCEPT_LOG).permits
+        assert flip_decision(DISCARD_LOG).permits
+
+
+class TestPerturb:
+    @pytest.fixture
+    def firewall(self):
+        return SyntheticFirewallGenerator(seed=4).generate(40)
+
+    def test_selection_count(self, firewall):
+        _, record = perturb(firewall, 0.25, seed=1, y=1.0)  # flip all selected
+        assert len(record.flipped) == 10
+        assert record.deleted == ()
+
+    def test_delete_all_selected(self, firewall):
+        perturbed, record = perturb(firewall, 0.25, seed=1, y=0.0)
+        assert record.flipped == ()
+        assert len(perturbed) == 40 - len(record.deleted)
+        # The catch-all survives deletion.
+        assert perturbed.has_catchall()
+
+    def test_flips_applied(self, firewall):
+        perturbed, record = perturb(firewall, 0.5, seed=2, y=1.0)
+        for index in record.flipped:
+            assert perturbed[
+                index - sum(1 for d in record.deleted if d < index)
+            ].decision == flip_decision(firewall[index].decision)
+
+    def test_x_validation(self, firewall):
+        with pytest.raises(ValueError):
+            perturb(firewall, 0.0)
+        with pytest.raises(ValueError):
+            perturb(firewall, 1.5)
+        with pytest.raises(ValueError):
+            perturb(firewall, 0.5, y=2.0)
+
+    def test_deterministic(self, firewall):
+        a = perturb(firewall, 0.3, seed=11)
+        b = perturb(firewall, 0.3, seed=11)
+        assert a[0].rules == b[0].rules and a[1] == b[1]
+
+    def test_comparator_sees_flips(self, firewall):
+        """Every surviving decision flip must surface as a discrepancy
+        (unless the flipped rule was shadowed)."""
+        perturbed, record = perturb(firewall, 0.2, seed=3, y=1.0)
+        discs = compare_firewalls(firewall, perturbed)
+        for index in record.flipped:
+            rule = firewall[index]
+            # A packet that reaches this rule (if any) must be disputed.
+            witness = tuple(v.min() for v in rule.predicate.sets)
+            if firewall.first_match_index(witness) == index:
+                assert any(d.contains(witness) for d in discs)
+
+
+class TestWorkloads:
+    def test_sizes(self):
+        assert len(university_661()) == 661
+        assert len(average_42()) == 42
+        assert len(campus_87()) == 87
+
+    def test_campus_rules_documented(self):
+        fw = campus_87()
+        assert all(rule.comment for rule in fw.rules)
+        assert fw.has_catchall()
+
+    def test_campus_semantics_spotcheck(self):
+        from repro.addr import ip_to_int
+
+        fw = campus_87()
+        web = ip_to_int("10.1.0.10")
+        outside = ip_to_int("198.51.100.7")
+        dmz_other = ip_to_int("10.1.0.200")
+        campus_host = ip_to_int("10.2.0.5")
+        # Outside can reach the web server on 443/tcp...
+        assert fw((outside, web, 40000, 443, 6)) == ACCEPT
+        # ...but not on arbitrary ports (DMZ default-deny).
+        assert fw((outside, web, 40000, 4444, 6)) == DISCARD
+        assert fw((outside, dmz_other, 40000, 80, 6)) == DISCARD
+        # Department subnet reaches DMZ over ssh.
+        assert fw((campus_host, dmz_other, 40000, 22, 6)) == ACCEPT
+        # Campus egress is open; everything else defaults to deny.
+        assert fw((campus_host, outside, 40000, 9999, 17)) == ACCEPT
+        assert fw((outside, outside + 1, 40000, 9999, 17)) == DISCARD
+
+    def test_paper_teams_not_equivalent(self):
+        assert not equivalent(team_a_firewall(), team_b_firewall())
+
+    def test_workloads_deterministic(self):
+        assert campus_87().rules == campus_87().rules
+        assert university_661().rules == university_661().rules

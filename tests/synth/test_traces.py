@@ -1,0 +1,115 @@
+"""Tests for synthetic packet traces."""
+
+from repro.fields import standard_schema
+from repro.synth import (
+    BoundaryTraceGenerator,
+    FlowTraceGenerator,
+    SyntheticFirewallGenerator,
+    perturb,
+)
+
+
+class TestBoundaryTraces:
+    def test_packets_in_domain(self):
+        fw = SyntheticFirewallGenerator(seed=1).generate(20)
+        gen = BoundaryTraceGenerator(fw, seed=2)
+        for packet in gen.packets(200):
+            for value, field in zip(packet, fw.schema):
+                assert 0 <= value <= field.max_value
+
+    def test_deterministic(self):
+        fw = SyntheticFirewallGenerator(seed=1).generate(20)
+        assert (
+            BoundaryTraceGenerator(fw, seed=5).packets(50)
+            == BoundaryTraceGenerator(fw, seed=5).packets(50)
+        )
+
+    def test_boundary_bias_hits_rule_edges(self):
+        fw = SyntheticFirewallGenerator(seed=3).generate(30)
+        gen = BoundaryTraceGenerator(fw, seed=4, uniform_p=0.0)
+        endpoints = set()
+        for rule in fw.rules:
+            for iv in rule.predicate.sets[1].intervals:
+                endpoints.update((iv.lo, iv.hi, iv.lo - 1, iv.hi + 1))
+        hits = sum(1 for p in gen.packets(200) if p[1] in endpoints)
+        assert hits == 200  # with uniform_p=0 every draw is a pool value
+
+    def test_differential_finds_real_disagreements(self):
+        fw = SyntheticFirewallGenerator(seed=6).generate(30)
+        other, record = perturb(fw, 0.4, seed=7, y=1.0)
+        gen = BoundaryTraceGenerator(fw, seed=8)
+        witnesses = gen.differential(fw, other, 2000)
+        for packet in witnesses:
+            assert fw(packet) != other(packet)
+        # With 12 flipped rules, boundary probing should find something.
+        assert witnesses
+
+    def test_uniform_fallback_on_empty_pools(self):
+        # A catch-all-only policy has pools of just domain endpoints.
+        from repro.policy import ACCEPT, Firewall, Rule
+
+        schema = standard_schema()
+        fw = Firewall(schema, [Rule.build(schema, ACCEPT)])
+        gen = BoundaryTraceGenerator(fw, seed=9)
+        assert len(gen.packets(10)) == 10
+
+
+class TestFlowTraces:
+    def test_time_ordering(self):
+        trace = list(FlowTraceGenerator(seed=1).flows(10))
+        times = [tp.time for tp in trace]
+        assert times == sorted(times)
+
+    def test_flow_structure(self):
+        gen = FlowTraceGenerator(seed=2, requests_per_flow=2, reply_probability=1.0)
+        trace = list(gen.flows(1))
+        assert len(trace) == 4  # 2 requests + 2 replies
+        request, reply = trace[0].packet, trace[1].packet
+        assert request[0] == reply[1] and request[1] == reply[0]
+        assert request[2] == reply[3] and request[3] == reply[2]
+
+    def test_clients_in_space(self):
+        gen = FlowTraceGenerator(seed=3)
+        lo, hi = gen.client_space
+        for tp in gen.flows(5):
+            src, dst = tp.packet[0], tp.packet[1]
+            assert lo <= src <= hi or lo <= dst <= hi
+
+    def test_scanner_interleaved(self):
+        gen = FlowTraceGenerator(seed=4)
+        scanner_ip = 0xCB007142
+        trace = list(gen.with_scanner(10, scanner_ip=scanner_ip))
+        scans = [tp for tp in trace if tp.packet[0] == scanner_ip]
+        assert scans
+        times = [tp.time for tp in trace]
+        assert times == sorted(times)
+
+    def test_stateful_gateway_on_trace(self):
+        """End-to-end: flows pass, the interleaved scan is dropped."""
+        from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+        from repro.stateful import (
+            STATE_ESTABLISHED,
+            StatefulFirewall,
+            stateful_schema,
+        )
+
+        schema = stateful_schema()
+        policy = Firewall(
+            schema,
+            [
+                Rule.build(schema, ACCEPT, state=STATE_ESTABLISHED),
+                Rule.build(schema, ACCEPT, src_ip="10.0.0.0/8"),
+                Rule.build(schema, DISCARD),
+            ],
+        )
+        fw = StatefulFirewall(
+            policy, tracking=[Predicate.from_fields(schema, src_ip="10.0.0.0/8")]
+        )
+        gen = FlowTraceGenerator(seed=5, reply_probability=1.0)
+        scanner_ip = 0xCB007142
+        decisions = {}
+        for tp in gen.with_scanner(10, scanner_ip=scanner_ip):
+            decision = fw.process(tp.packet, tp.time)
+            decisions.setdefault(tp.packet[0] == scanner_ip, []).append(decision)
+        assert all(d == DISCARD for d in decisions[True])  # scans dropped
+        assert all(d == ACCEPT for d in decisions[False])  # flows pass

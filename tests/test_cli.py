@@ -1,0 +1,184 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.policy import dump
+from repro.synth import team_a_firewall, team_b_firewall
+
+
+@pytest.fixture
+def policies(tmp_path):
+    path_a = tmp_path / "a.fw"
+    path_b = tmp_path / "b.fw"
+    dump(team_a_firewall(), path_a, schema_key="interface")
+    dump(team_b_firewall(), path_b, schema_key="interface")
+    return str(path_a), str(path_b)
+
+
+@pytest.fixture
+def standard_policy(tmp_path):
+    from repro.synth import SyntheticFirewallGenerator
+
+    path = tmp_path / "p.fw"
+    dump(SyntheticFirewallGenerator(seed=1).generate(10), path, schema_key="standard")
+    return str(path)
+
+
+class TestCompare:
+    def test_discrepancies_exit_1(self, policies, capsys):
+        code = main(["compare", *policies])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "3 functional discrepancy region(s)" in out
+        assert "Team A" in out and "Team B" in out
+
+    def test_raw_mode(self, policies, capsys):
+        code = main(["compare", "--raw", *policies])
+        assert code == 1
+        assert "discrepancy region(s)" in capsys.readouterr().out
+
+    def test_equivalent_exit_0(self, policies, capsys):
+        code = main(["compare", policies[0], policies[0]])
+        assert code == 0
+        assert "equivalent" in capsys.readouterr().out
+
+
+class TestImpact:
+    def test_reports_and_exits_1(self, policies, capsys):
+        code = main(["impact", *policies])
+        assert code == 1
+        assert "change impact" in capsys.readouterr().out
+
+    def test_noop_exits_0(self, policies, capsys):
+        code = main(["impact", policies[1], policies[1]])
+        assert code == 0
+        assert "no semantic effect" in capsys.readouterr().out
+
+
+class TestEquivalent:
+    def test_yes(self, policies, capsys):
+        assert main(["equivalent", policies[0], policies[0]]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_no(self, policies, capsys):
+        assert main(["equivalent", *policies]) == 1
+        assert "NOT equivalent" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_count(self, policies, capsys):
+        code = main(["query", policies[1], "count discard where interface=1"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "0"
+
+    def test_bad_query_exits_2(self, policies, capsys):
+        code = main(["query", policies[1], "ponder accept"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompact:
+    def test_prints_slimmed_policy(self, tmp_path, capsys):
+        from repro.fields import standard_schema
+        from repro.policy import ACCEPT, DISCARD, Firewall, Rule, dumps
+
+        schema = standard_schema()
+        fat = Firewall(
+            schema,
+            [
+                Rule.build(schema, ACCEPT, dst_port="0-1023"),
+                Rule.build(schema, ACCEPT, dst_port="80-443"),
+                Rule.build(schema, DISCARD),
+            ],
+        )
+        path = tmp_path / "fat.fw"
+        path.write_text(dumps(fat, schema_key="standard"))
+        code = main(["compact", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "removed 1 redundant rule(s): 3 -> 2" in out
+
+
+class TestExportShow:
+    def test_export_iptables(self, standard_policy, capsys):
+        assert main(["export", standard_policy, "--format", "iptables"]) == 0
+        assert "*filter" in capsys.readouterr().out
+
+    def test_export_cisco(self, standard_policy, capsys):
+        assert main(["export", standard_policy, "--format", "cisco"]) == 0
+        assert "ip access-list extended" in capsys.readouterr().out
+
+    def test_export_text_roundtrip(self, standard_policy, capsys):
+        assert main(["export", standard_policy]) == 0
+        out = capsys.readouterr().out
+        from repro.fields import standard_schema
+        from repro.policy import loads
+
+        assert loads(out, standard_schema())
+
+    def test_show(self, standard_policy, capsys):
+        assert main(["show", standard_policy]) == 0
+        assert "decision" in capsys.readouterr().out
+
+    def test_anomalies(self, standard_policy, capsys):
+        assert main(["anomalies", standard_policy]) == 0
+
+
+class TestFingerprintSliceImport:
+    def test_fingerprint_stable_and_semantic(self, policies, capsys):
+        assert main(["fingerprint", policies[0]]) == 0
+        first = capsys.readouterr().out.strip()
+        assert main(["fingerprint", policies[0]]) == 0
+        second = capsys.readouterr().out.strip()
+        assert first == second and len(first) == 64
+        assert main(["fingerprint", policies[1]]) == 0
+        other = capsys.readouterr().out.strip()
+        assert other != first
+
+    def test_slice(self, standard_policy, capsys):
+        code = main(["slice", standard_policy, "dst_port=80|443"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("# rules deciding the region:")
+        assert "decision" in out
+
+    def test_import_iptables(self, tmp_path, capsys):
+        config = tmp_path / "rules.v4"
+        config.write_text(
+            ":FORWARD DROP [0:0]\n-A FORWARD -s 10.0.0.0/8 -j ACCEPT\n"
+        )
+        code = main(
+            ["import", str(config), "--format", "iptables", "--schema-header"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        from repro.policy import loads
+
+        imported = loads(out)
+        assert len(imported) == 2
+
+    def test_import_cisco(self, tmp_path, capsys):
+        config = tmp_path / "acl.cfg"
+        config.write_text(
+            "ip access-list extended X\n permit tcp any any eq 80\n"
+        )
+        code = main(["import", str(config), "--format", "cisco"])
+        assert code == 0
+        assert "-> accept" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file_exits_2(self, capsys):
+        code = main(["show", "/nonexistent/path.fw"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.fw"
+        bad.write_text("firewall schema=standard\nnot a rule\n")
+        assert main(["show", str(bad)]) == 2
+
+    def test_no_command_raises_system_exit(self):
+        with pytest.raises(SystemExit):
+            main([])

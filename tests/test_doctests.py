@@ -1,0 +1,21 @@
+"""Run every module's doctests (the examples embedded in docstrings)."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES + ["repro"])
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    failures, _tests = doctest.testmod(module, verbose=False)
+    assert failures == 0

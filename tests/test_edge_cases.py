@@ -1,0 +1,194 @@
+"""Edge cases and failure injection across the library.
+
+Deliberately hostile inputs: domain boundaries, single-value domains,
+maximal interval counts, corrupted diagrams, and adversarial rule
+shapes.  Anything that silently mis-decides a packet here would poison
+every downstream analysis, so these paths get explicit coverage.
+"""
+
+import pytest
+
+from repro.addr import IPV4_MAX, PORT_MAX
+from repro.exceptions import FDDError, IntervalError, PolicyError
+from repro.fdd import FDD, compare_firewalls, construct_fdd, make_semi_isomorphic
+from repro.fdd.fast import compare_fast, construct_fdd_fast
+from repro.fdd.node import InternalNode, TerminalNode
+from repro.fields import enumerate_universe, standard_schema, toy_schema
+from repro.intervals import Interval, IntervalSet
+from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+
+
+class TestDomainBoundaries:
+    def test_single_value_domain(self):
+        schema = toy_schema(0, 0)  # both domains are {0}
+        fw = Firewall(schema, [Rule.build(schema, ACCEPT)])
+        fdd = construct_fdd(fw)
+        fdd.validate()
+        assert fdd.evaluate((0, 0)) == ACCEPT
+
+    def test_rules_at_domain_extremes(self):
+        schema = standard_schema()
+        fw = Firewall(
+            schema,
+            [
+                Rule.build(schema, DISCARD, src_ip=0),
+                Rule.build(schema, DISCARD, src_ip=IPV4_MAX),
+                Rule.build(schema, DISCARD, dst_port=PORT_MAX),
+                Rule.build(schema, ACCEPT),
+            ],
+        )
+        fdd = construct_fdd_fast(fw)
+        fdd.validate()
+        assert fdd.evaluate((0, 1, 2, 3, 4)) == DISCARD
+        assert fdd.evaluate((IPV4_MAX, 1, 2, 3, 4)) == DISCARD
+        assert fdd.evaluate((5, 1, 2, PORT_MAX, 4)) == DISCARD
+        assert fdd.evaluate((5, 1, 2, 3, 4)) == ACCEPT
+
+    def test_adjacent_singletons(self):
+        schema = toy_schema(9)
+        fw = Firewall(
+            schema,
+            [Rule.build(schema, DISCARD, F1=str(v)) for v in (3, 4, 5)]
+            + [Rule.build(schema, ACCEPT)],
+        )
+        fdd = construct_fdd(fw)
+        # The three singleton edges must coalesce semantically.
+        for v in range(10):
+            expected = DISCARD if v in (3, 4, 5) else ACCEPT
+            assert fdd.evaluate((v,)) == expected
+
+    def test_full_domain_single_rule_conjuncts(self):
+        schema = toy_schema(9, 9)
+        explicit_all = Rule(
+            Predicate(
+                schema, (IntervalSet.span(0, 9), IntervalSet.span(0, 9))
+            ),
+            ACCEPT,
+        )
+        fw = Firewall(schema, [explicit_all])
+        assert fw.has_catchall()
+
+
+class TestAdversarialShapes:
+    def test_maximally_fragmented_conjunct(self):
+        """A rule whose conjunct is every even value (5 intervals)."""
+        schema = toy_schema(9, 9)
+        evens = IntervalSet.from_values([0, 2, 4, 6, 8])
+        fw = Firewall(
+            schema,
+            [
+                Rule(Predicate(schema, (evens, evens)), DISCARD),
+                Rule.build(schema, ACCEPT),
+            ],
+        )
+        fdd = construct_fdd(fw)
+        fdd.validate()
+        for packet in enumerate_universe(schema):
+            assert fdd.evaluate(packet) == fw(packet)
+
+    def test_interleaved_conflicts(self):
+        """Alternating accept/discard stripes from conflicting rules."""
+        schema = toy_schema(15)
+        rules = []
+        for k in range(8):
+            rules.append(
+                Rule.build(
+                    schema,
+                    ACCEPT if k % 2 == 0 else DISCARD,
+                    F1=f"{k}-{15 - k}",
+                )
+            )
+        rules.append(Rule.build(schema, DISCARD))
+        fw = Firewall(schema, rules)
+        fdd = construct_fdd(fw)
+        for v in range(16):
+            assert fdd.evaluate((v,)) == fw((v,))
+
+    def test_comparing_identical_objects(self):
+        schema = toy_schema(9, 9)
+        fw = Firewall(schema, [Rule.build(schema, ACCEPT)])
+        assert compare_firewalls(fw, fw) == []
+        assert compare_fast(fw, fw).disputed_packet_count() == 0
+
+    def test_totally_disjoint_policies(self):
+        """Every packet disputed: the worst-case output size."""
+        schema = toy_schema(9, 9)
+        all_accept = Firewall(schema, [Rule.build(schema, ACCEPT)])
+        all_discard = Firewall(schema, [Rule.build(schema, DISCARD)])
+        discs = compare_firewalls(all_accept, all_discard)
+        assert sum(d.size() for d in discs) == 100
+        sa, sb = make_semi_isomorphic(
+            construct_fdd(all_accept), construct_fdd(all_discard)
+        )
+        # Two constant functions shape into minimal semi-isomorphic form.
+        assert sa.count_paths() == sb.count_paths() == 1
+
+
+class TestCorruptedDiagrams:
+    def test_evaluate_on_incomplete_node(self):
+        schema = toy_schema(9)
+        node = InternalNode(0)
+        node.add_edge(IntervalSet.of((0, 4)), TerminalNode(ACCEPT))
+        fdd = FDD(schema, node)
+        with pytest.raises(FDDError, match="completeness"):
+            fdd.evaluate((7,))
+
+    def test_validate_catches_duplicate_coverage(self):
+        schema = toy_schema(9)
+        node = InternalNode(0)
+        node.add_edge(IntervalSet.of((0, 5)), TerminalNode(ACCEPT))
+        node.add_edge(IntervalSet.of((5, 9)), TerminalNode(ACCEPT))
+        with pytest.raises(FDDError, match="consistency"):
+            FDD(schema, node).validate()
+
+    def test_interval_construction_guards(self):
+        with pytest.raises(IntervalError):
+            Interval(3, 2)
+        with pytest.raises(IntervalError):
+            IntervalSet.of((5, 1))
+
+    def test_empty_firewall_rejected(self):
+        schema = toy_schema(9)
+        with pytest.raises(PolicyError):
+            Firewall(schema, [])
+
+
+class TestLargeValueSpaces:
+    def test_full_ipv4_singletons(self):
+        """Host rules at 0.0.0.0 and 255.255.255.255 behave."""
+        schema = standard_schema()
+        fw = Firewall(
+            schema,
+            [
+                Rule.build(schema, DISCARD, src_ip="0.0.0.0"),
+                Rule.build(schema, DISCARD, src_ip="255.255.255.255"),
+                Rule.build(schema, ACCEPT),
+            ],
+        )
+        assert fw((0, 1, 2, 3, 4)) == DISCARD
+        assert fw((IPV4_MAX, 1, 2, 3, 4)) == DISCARD
+        assert fw((1, 1, 2, 3, 4)) == ACCEPT
+
+    def test_whole_space_minus_one_host(self):
+        schema = standard_schema()
+        hole = IntervalSet.span(0, IPV4_MAX) - IntervalSet.single(42)
+        fw = Firewall(
+            schema,
+            [
+                Rule.build(schema, DISCARD, src_ip=hole),
+                Rule.build(schema, ACCEPT),
+            ],
+        )
+        assert fw((42, 1, 2, 3, 4)) == ACCEPT
+        assert fw((41, 1, 2, 3, 4)) == DISCARD
+        fdd = construct_fdd_fast(fw)
+        assert fdd.evaluate((42, 1, 2, 3, 4)) == ACCEPT
+
+    def test_comparison_over_giant_disputed_space(self):
+        """Disputed-packet counts handle > 2^64 without overflow."""
+        schema = standard_schema()
+        all_accept = Firewall(schema, [Rule.build(schema, ACCEPT)])
+        all_discard = Firewall(schema, [Rule.build(schema, DISCARD)])
+        count = compare_fast(all_accept, all_discard).disputed_packet_count()
+        assert count == schema.universe_size()
+        assert count > 2**64

@@ -1,0 +1,95 @@
+"""API hygiene: the public surface is importable, documented, and stable."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.addr",
+    "repro.analysis",
+    "repro.bdd",
+    "repro.bench",
+    "repro.fdd",
+    "repro.fields",
+    "repro.intervals",
+    "repro.policy",
+    "repro.stateful",
+    "repro.synth",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    assert hasattr(module, "__all__"), f"{package_name} must declare __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package_name}.{name} in __all__ but missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_sorted_unique(package_name):
+    module = importlib.import_module(package_name)
+    exported = list(module.__all__)
+    assert len(exported) == len(set(exported)), f"duplicates in {package_name}.__all__"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_callables_documented(package_name):
+    module = importlib.import_module(package_name)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{package_name} exports without docstrings: {undocumented}"
+    )
+
+
+def test_public_classes_have_documented_public_methods():
+    from repro.analysis import DiverseDesignSession
+    from repro.fields import FieldSchema
+    from repro.intervals import IntervalSet
+    from repro.policy import Firewall, Predicate, Rule
+    from repro.stateful import ConnectionTable, StatefulFirewall
+
+    missing = []
+    for cls in (
+        IntervalSet,
+        FieldSchema,
+        Predicate,
+        Rule,
+        Firewall,
+        DiverseDesignSession,
+        ConnectionTable,
+        StatefulFirewall,
+    ):
+        for name, member in vars(cls).items():
+            if name.startswith("_"):
+                continue
+            func = member.fget if isinstance(member, property) else member
+            if callable(func) or isinstance(member, property):
+                doc = getattr(func, "__doc__", None)
+                if not (doc or "").strip():
+                    missing.append(f"{cls.__name__}.{name}")
+    assert not missing, f"undocumented public methods: {missing}"
+
+
+def test_version_is_exposed():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_exceptions_hierarchy():
+    from repro import exceptions
+
+    base = exceptions.ReproError
+    for name in dir(exceptions):
+        obj = getattr(exceptions, name)
+        if inspect.isclass(obj) and issubclass(obj, Exception) and obj is not base:
+            assert issubclass(obj, base), f"{name} must derive from ReproError"
