@@ -27,10 +27,12 @@ Quickstart::
 
 from repro.analysis import (
     ChangeImpactReport,
+    ComparisonReport,
     Discrepancy,
     DiverseDesignSession,
     aggregate_discrepancies,
     analyze_change,
+    compare_with_fallback,
     equivalent,
     format_discrepancy_table,
     prefer_team,
@@ -38,7 +40,8 @@ from repro.analysis import (
     resolve_by_patching,
     resolve_with,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import BudgetExceededError, CancelledError, ReproError
+from repro.guard import Budget, FaultInjector, GuardContext
 from repro.fdd import (
     FDD,
     compare_direct,
@@ -72,15 +75,21 @@ __version__ = "1.0.0"
 __all__ = [
     "ACCEPT",
     "ACCEPT_LOG",
+    "Budget",
+    "BudgetExceededError",
+    "CancelledError",
     "ChangeImpactReport",
+    "ComparisonReport",
     "DISCARD",
     "DISCARD_LOG",
     "Decision",
     "Discrepancy",
     "DiverseDesignSession",
     "FDD",
+    "FaultInjector",
     "FieldSchema",
     "Firewall",
+    "GuardContext",
     "Interval",
     "IntervalSet",
     "Packet",
@@ -93,6 +102,7 @@ __all__ = [
     "compare_direct",
     "compare_fdds",
     "compare_firewalls",
+    "compare_with_fallback",
     "construct_fdd",
     "equivalent",
     "format_discrepancy_table",

@@ -5,7 +5,7 @@ and service names; the algorithms consume integer intervals; output is
 converted back to prefixes and names so discrepancies read like rules.
 """
 
-from repro.addr.ipv4 import IPV4_BITS, IPV4_MAX, int_to_ip, ip_to_int, is_valid_ip
+from repro.addr.ipv4 import IPV4_BITS, IPV4_MAX, ascii_digits, int_to_ip, ip_to_int, is_valid_ip
 from repro.addr.ports import PORT_MAX, SERVICES, format_port_set, parse_port, parse_port_range
 from repro.addr.prefix import (
     Prefix,
@@ -25,6 +25,7 @@ __all__ = [
     "PROTOCOLS",
     "Prefix",
     "SERVICES",
+    "ascii_digits",
     "format_ip_set",
     "format_port_set",
     "format_protocol_set",

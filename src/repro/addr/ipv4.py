@@ -15,6 +15,7 @@ from repro.exceptions import AddressError
 __all__ = [
     "IPV4_BITS",
     "IPV4_MAX",
+    "ascii_digits",
     "ip_to_int",
     "int_to_ip",
     "is_valid_ip",
@@ -25,6 +26,22 @@ IPV4_BITS = 32
 
 #: Largest 32-bit address value (255.255.255.255).
 IPV4_MAX = (1 << IPV4_BITS) - 1
+
+
+def ascii_digits(text: str) -> bool:
+    """True iff ``text`` is one or more ASCII decimal digits.
+
+    ``str.isdigit`` alone is the wrong gate before ``int()``: it accepts
+    Unicode digits (superscripts, Eastern Arabic numerals, ...) that
+    ``int()`` rejects with a raw :class:`ValueError` — or, worse,
+    silently converts.  Every numeric parser in the format layer uses
+    this instead, so malformed input surfaces as
+    :class:`~repro.exceptions.AddressError`/``ParseError``.
+
+    >>> ascii_digits("123"), ascii_digits("²²"), ascii_digits("")
+    (True, False, False)
+    """
+    return bool(text) and text.isascii() and text.isdigit()
 
 
 def ip_to_int(text: str) -> int:
@@ -38,7 +55,7 @@ def ip_to_int(text: str) -> int:
         raise AddressError(f"invalid IPv4 address {text!r}: expected 4 octets")
     value = 0
     for part in parts:
-        if not part.isdigit():
+        if not ascii_digits(part):
             raise AddressError(f"invalid IPv4 address {text!r}: bad octet {part!r}")
         octet = int(part)
         if octet > 255:

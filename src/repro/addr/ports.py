@@ -8,6 +8,7 @@ interval sets back into the same vocabulary.
 
 from __future__ import annotations
 
+from repro.addr.ipv4 import ascii_digits
 from repro.exceptions import AddressError
 from repro.intervals import Interval, IntervalSet
 
@@ -65,7 +66,7 @@ def parse_port(text: str) -> int:
     25
     """
     text = text.strip().lower()
-    if text.isdigit():
+    if ascii_digits(text):
         value = int(text)
         if value > PORT_MAX:
             raise AddressError(f"port {value} exceeds {PORT_MAX}")

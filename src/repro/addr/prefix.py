@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.exceptions import AddressError
 from repro.intervals import Interval, IntervalSet
-from repro.addr.ipv4 import IPV4_BITS, IPV4_MAX, int_to_ip, ip_to_int
+from repro.addr.ipv4 import IPV4_BITS, IPV4_MAX, ascii_digits, int_to_ip, ip_to_int
 
 __all__ = [
     "Prefix",
@@ -85,7 +85,7 @@ def parse_prefix(text: str) -> Prefix:
     text = text.strip()
     if "/" in text:
         addr_part, _, len_part = text.partition("/")
-        if not len_part.isdigit():
+        if not ascii_digits(len_part):
             raise AddressError(f"invalid prefix length in {text!r}")
         length = int(len_part)
     else:

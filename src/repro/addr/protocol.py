@@ -8,6 +8,7 @@ formats protocol interval sets for human-readable output.
 
 from __future__ import annotations
 
+from repro.addr.ipv4 import ascii_digits
 from repro.exceptions import AddressError
 from repro.intervals import Interval, IntervalSet
 
@@ -50,7 +51,7 @@ def parse_protocol(text: str) -> Interval:
     text = text.strip().lower()
     if text in ("any", "all", "*"):
         return Interval(0, PROTOCOL_MAX)
-    if text.isdigit():
+    if ascii_digits(text):
         value = int(text)
         if value > PROTOCOL_MAX:
             raise AddressError(f"protocol number {value} exceeds {PROTOCOL_MAX}")

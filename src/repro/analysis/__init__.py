@@ -9,7 +9,12 @@ anomaly detection in the style of [1].
 
 from repro.analysis.aggregate import aggregate_discrepancies
 from repro.analysis.anomaly import Anomaly, find_anomalies
-from repro.analysis.discrepancy import Discrepancy, format_discrepancy_table
+from repro.analysis.approximate import approximate_compare, compare_with_fallback
+from repro.analysis.discrepancy import (
+    ComparisonReport,
+    Discrepancy,
+    format_discrepancy_table,
+)
 from repro.analysis.diverse_design import (
     DiverseDesignSession,
     MultiDiscrepancy,
@@ -42,6 +47,7 @@ from repro.analysis.resolution import (
 __all__ = [
     "Anomaly",
     "ChangeImpactReport",
+    "ComparisonReport",
     "CoverageReport",
     "Discrepancy",
     "DiverseDesignSession",
@@ -55,10 +61,12 @@ __all__ = [
     "aggregate_discrepancies",
     "aggregate_resolutions",
     "analyze_change",
+    "approximate_compare",
     "audit_change",
     "audit_policy",
     "any_packet",
     "compare_many",
+    "compare_with_fallback",
     "corrected_fdd",
     "coverage_report",
     "cross_compare",

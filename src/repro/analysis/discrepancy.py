@@ -10,7 +10,7 @@ human-readable regions the paper's Table 3 shows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.fields import FieldSchema, Packet
@@ -19,7 +19,7 @@ from repro.policy.decision import Decision
 from repro.policy.predicate import Predicate
 from repro.policy.rule import Rule
 
-__all__ = ["Discrepancy", "format_discrepancy_table"]
+__all__ = ["Discrepancy", "ComparisonReport", "format_discrepancy_table"]
 
 
 @dataclass(frozen=True)
@@ -75,6 +75,59 @@ class Discrepancy:
 
     def __str__(self) -> str:
         return self.describe()
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """The outcome of a (possibly budget-guarded) firewall comparison.
+
+    Wraps the discrepancy list with provenance the bare list cannot
+    carry: whether the result is **exact** (the paper's complete
+    comparison — an empty list proves equivalence) or **approximate**
+    (the degraded sampling mode of :mod:`repro.analysis.approximate`,
+    entered when the exact pipeline exhausted its budget — an empty list
+    proves nothing), how much of the packet universe the verdict covers,
+    and the guard's budget outcome for bench/ops recording.
+    """
+
+    #: The discrepancies found (exhaustive when ``approximate`` is False,
+    #: a sampled subset of single-packet cells otherwise).
+    discrepancies: tuple[Discrepancy, ...]
+    #: True when the exact pipeline was abandoned for sampling.
+    approximate: bool = False
+    #: Fraction of the packet universe the verdict covers: 1.0 for exact
+    #: runs, the (usually tiny) sampled fraction for approximate runs.
+    coverage: float = 1.0
+    #: Distinct packets evaluated by the sampler (0 for exact runs).
+    sampled_packets: int = 0
+    #: The guard's budget outcome (:meth:`GuardContext.outcome`), if any.
+    outcome: dict | None = field(default=None, compare=False)
+
+    @property
+    def exhausted(self) -> str | None:
+        """Resource that tripped the exact pipeline's budget, if any."""
+        if self.outcome is None:
+            return None
+        return self.outcome.get("exhausted")
+
+    def proves_equivalence(self) -> bool:
+        """True only for an exact run that found no discrepancies.
+
+        An empty *approximate* report is merely "no disagreement found in
+        the sample" — it never proves equivalence.
+        """
+        return not self.approximate and not self.discrepancies
+
+    def describe(self) -> str:
+        """One-line summary suitable for logs and CLI headers."""
+        kind = "approximate" if self.approximate else "exact"
+        parts = [f"{kind} comparison: {len(self.discrepancies)} discrepancy cell(s)"]
+        if self.approximate:
+            parts.append(f"coverage ~{self.coverage:.3g} of the packet universe")
+            parts.append(f"{self.sampled_packets} packets sampled")
+        if self.exhausted:
+            parts.append(f"budget exhausted on {self.exhausted}")
+        return "; ".join(parts)
 
 
 def format_discrepancy_table(

@@ -9,13 +9,20 @@ three algorithms makes this an exact decision procedure, not a sampler.
 from __future__ import annotations
 
 from repro.fdd.comparison import compare_firewalls
+from repro.guard import GuardContext
 from repro.policy.firewall import Firewall
 
 __all__ = ["equivalent", "disputed_packet_count"]
 
 
-def equivalent(fw_a: Firewall, fw_b: Firewall) -> bool:
+def equivalent(
+    fw_a: Firewall, fw_b: Firewall, *, guard: GuardContext | None = None
+) -> bool:
     """True iff the two firewalls decide every packet identically.
+
+    ``guard`` bounds the underlying comparison pipeline; a budget trip
+    raises :class:`~repro.exceptions.BudgetExceededError` rather than
+    returning a possibly-wrong verdict — equivalence is all-or-nothing.
 
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
@@ -27,13 +34,15 @@ def equivalent(fw_a: Firewall, fw_b: Firewall) -> bool:
     >>> equivalent(fw1, fw2)
     True
     """
-    return not compare_firewalls(fw_a, fw_b)
+    return not compare_firewalls(fw_a, fw_b, guard=guard)
 
 
-def disputed_packet_count(fw_a: Firewall, fw_b: Firewall) -> int:
+def disputed_packet_count(
+    fw_a: Firewall, fw_b: Firewall, *, guard: GuardContext | None = None
+) -> int:
     """Number of packets on which the two firewalls disagree.
 
     Exact: sums the sizes of the (disjoint) discrepancy regions produced
     by the comparison algorithm.
     """
-    return sum(disc.size() for disc in compare_firewalls(fw_a, fw_b))
+    return sum(disc.size() for disc in compare_firewalls(fw_a, fw_b, guard=guard))

@@ -106,7 +106,7 @@ class ChangeImpactReport:
 
 
 def analyze_change(
-    before: Firewall, after: Firewall, *, aggregate: bool = True
+    before: Firewall, after: Firewall, *, aggregate: bool = True, guard=None
 ) -> ChangeImpactReport:
     """Compute the impact of changing ``before`` into ``after``.
 
@@ -119,6 +119,6 @@ def analyze_change(
     >>> report.is_noop, len(report.by_kind()["newly blocked"])
     (False, 1)
     """
-    raw = compare_firewalls(before, after)
+    raw = compare_firewalls(before, after, guard=guard)
     discs = aggregate_discrepancies(raw) if aggregate else raw
     return ChangeImpactReport(before=before, after=after, discrepancies=discs)

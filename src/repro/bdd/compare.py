@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.bdd.bdd import BDDManager
 from repro.bdd.encode import FirewallEncoder
 from repro.exceptions import BDDError
+from repro.guard import GuardContext
 from repro.policy.firewall import Firewall
 
 __all__ = ["BDDComparison", "compare_with_bdd", "cube_to_text"]
@@ -51,12 +52,23 @@ class BDDComparison:
 
 
 def compare_with_bdd(
-    fw_a: Firewall, fw_b: Firewall, *, cube_limit: int = 1_000_000
+    fw_a: Firewall,
+    fw_b: Firewall,
+    *,
+    guard: GuardContext | None = None,
+    cube_limit: int = 1_000_000,
 ) -> BDDComparison:
     """Run the BDD baseline end to end.
 
-    ``cube_limit`` caps cube enumeration (the whole point of the baseline
-    is that this number explodes; the cap keeps the benchmark bounded).
+    Cube enumeration is capped — the whole point of the baseline is that
+    the cube count explodes, so the cap keeps the benchmark bounded.  The
+    cap comes from the unified guard budget when one is given
+    (``guard.budget.max_discrepancies``), else from the legacy
+    ``cube_limit`` parameter; hitting it flags
+    ``cube_count_truncated=True`` rather than raising (the truncation is
+    the baseline's documented degraded mode).  The guard's deadline and
+    cancellation token are still enforced: between phases and, amortized,
+    per enumerated cube.
 
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
@@ -70,16 +82,30 @@ def compare_with_bdd(
     """
     if fw_a.schema != fw_b.schema:
         raise BDDError("cannot compare firewalls over different field schemas")
+    cap = cube_limit
+    if guard is not None and guard.budget.max_discrepancies is not None:
+        cap = guard.budget.max_discrepancies
     encoder = FirewallEncoder(fw_a.schema)
     manager = encoder.manager
+    if guard is not None:
+        guard.checkpoint("bdd.encode")
     accept_a = encoder.encode_accept_set(fw_a)
     accept_b = encoder.encode_accept_set(fw_b)
+    if guard is not None:
+        guard.checkpoint("bdd.xor")
     difference = manager.xor(accept_a, accept_b)
     # Domains that do not fill their bit width would otherwise count
     # phantom packets.
     difference = manager.and_(difference, encoder.domain_constraint())
     disputed = manager.count_solutions(difference)
-    cube_count = manager.count_cubes(difference, limit=cube_limit)
+    if guard is not None:
+        guard.checkpoint("bdd.cubes")
+        cube_count = 0
+        for _cube in manager.cubes(difference, limit=cap):
+            cube_count += 1
+            guard.tick_nodes()
+    else:
+        cube_count = manager.count_cubes(difference, limit=cap)
     return BDDComparison(
         manager=manager,
         encoder=encoder,
@@ -88,7 +114,7 @@ def compare_with_bdd(
         difference=difference,
         disputed_packets=disputed,
         cube_count=cube_count,
-        cube_count_truncated=cube_count >= cube_limit,
+        cube_count_truncated=cube_count >= cap,
     )
 
 

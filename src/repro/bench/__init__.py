@@ -4,10 +4,12 @@ from repro.bench.harness import (
     EffectivenessResult,
     Fig12Row,
     Fig13Row,
+    GuardOverheadRow,
     bench_scale,
     effectiveness_experiment,
     fig12_experiment,
     fig13_experiment,
+    guard_overhead_experiment,
 )
 from repro.bench.reporting import banner, render_series, render_table
 from repro.bench.timing import (
@@ -22,12 +24,14 @@ __all__ = [
     "FastTimings",
     "Fig12Row",
     "Fig13Row",
+    "GuardOverheadRow",
     "PhaseTimings",
     "banner",
     "bench_scale",
     "effectiveness_experiment",
     "fig12_experiment",
     "fig13_experiment",
+    "guard_overhead_experiment",
     "render_series",
     "render_table",
     "timed_comparison",

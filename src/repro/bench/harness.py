@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import os
 import statistics
+import time
 from dataclasses import dataclass
 
 from repro.analysis.aggregate import aggregate_discrepancies
@@ -23,6 +24,7 @@ from repro.bench.timing import (
     timed_comparison,
     timed_fast_comparison,
 )
+from repro.guard import Budget, GuardContext
 from repro.policy.firewall import Firewall
 from repro.synth.generator import GeneratorConfig, generate_firewall_pair
 from repro.synth.perturb import perturb
@@ -36,6 +38,8 @@ __all__ = [
     "fig13_experiment",
     "EffectivenessResult",
     "effectiveness_experiment",
+    "GuardOverheadRow",
+    "guard_overhead_experiment",
 ]
 
 
@@ -347,3 +351,129 @@ def effectiveness_experiment(
         redesign_errors_injected=flipped,
         all_errors_surfaced=surfaced,
     )
+
+
+# ----------------------------------------------------------------------
+# Guard overhead — cost of the guarded execution layer when within budget
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GuardOverheadRow:
+    """Guarded vs unguarded runtime on one workload (best of ``trials``).
+
+    ``outcome`` is the guarded run's :meth:`GuardContext.outcome` record —
+    the budget outcome (counters, budget description, ``exhausted=None``
+    when the run finished within budget) archived alongside the timings.
+    """
+
+    workload: str
+    engine: str
+    trials: int
+    unguarded_ms: float
+    guarded_ms: float
+    overhead_pct: float
+    identical_output: bool
+    outcome: dict
+
+
+#: Generous-but-bounded budget for overhead runs: every limit is set so
+#: every per-tick comparison actually executes, but none can trip.
+_OVERHEAD_BUDGET = Budget(
+    deadline_s=3600.0,
+    max_nodes=10**12,
+    max_splits=10**12,
+    max_discrepancies=10**12,
+)
+
+
+def guard_overhead_experiment(
+    *, trials: int | None = None, seed: int = 13
+) -> list[GuardOverheadRow]:
+    """Measure the guard layer's overhead on the paper's workloads.
+
+    Runs each workload with ``guard=None`` and under a generous bounded
+    budget (all limits set, none trippable), takes the best of ``trials``
+    for each, and asserts the outputs are identical.  Target: <3%
+    overhead (see ``docs/robustness.md``); the amortized clock checks and
+    integer-compare limit checks are designed for exactly this.
+
+    Workloads:
+
+    * ``paper-example`` — the running example's Team A vs Team B policies
+      through the reference three-algorithm pipeline;
+    * ``fig12-campus`` — the campus firewall vs a 20%-perturbed copy
+      (Fig. 12's model), reference pipeline;
+    * ``fig13-fast`` — a generated pair at Fig. 13 scale through the fast
+      engine (product walk + path extraction).
+    """
+    from repro.fdd.comparison import compare_firewalls
+    from repro.fdd.fast import compare_fast
+    from repro.synth import team_a_firewall, team_b_firewall
+
+    if trials is None:
+        trials = 5 if bench_scale() == "paper" else 3
+    fig13_size = 200 if bench_scale() == "paper" else 60
+
+    def reference(fw_a, fw_b, guard):
+        return compare_firewalls(fw_a, fw_b, guard=guard)
+
+    def fast(fw_a, fw_b, guard):
+        return compare_fast(fw_a, fw_b, guard=guard).discrepancies(guard=guard)
+
+    campus = campus_87()
+    perturbed, _ = perturb(campus, 0.2, seed=seed)
+    workloads = [
+        ("paper-example", "reference", reference, team_a_firewall(), team_b_firewall()),
+        ("fig12-campus", "reference", reference, campus, perturbed),
+        (
+            "fig13-fast",
+            "fast",
+            fast,
+            *generate_firewall_pair(fig13_size, seed=seed),
+        ),
+    ]
+
+    rows: list[GuardOverheadRow] = []
+    for name, engine, run, fw_a, fw_b in workloads:
+        # Warm-up pair (untimed): without it, whichever variant runs first
+        # pays interpreter/allocator warm-up and the comparison is biased.
+        baseline = run(fw_a, fw_b, None)
+        guard = GuardContext(_OVERHEAD_BUDGET)
+        guarded_result = run(fw_a, fw_b, guard)
+        outcome = guard.outcome()
+
+        # Calibrate iterations so each timing sample covers >= ~20 ms;
+        # sub-millisecond workloads are otherwise pure timer noise.
+        start = time.perf_counter()
+        run(fw_a, fw_b, None)
+        single_s = time.perf_counter() - start
+        iterations = max(1, round(0.02 / max(single_s, 1e-9)))
+
+        unguarded_best = float("inf")
+        guarded_best = float("inf")
+        for _ in range(trials):
+            start = time.perf_counter()
+            for _ in range(iterations):
+                run(fw_a, fw_b, None)
+            sample = (time.perf_counter() - start) * 1000 / iterations
+            unguarded_best = min(unguarded_best, sample)
+
+            start = time.perf_counter()
+            for _ in range(iterations):
+                run(fw_a, fw_b, GuardContext(_OVERHEAD_BUDGET))
+            sample = (time.perf_counter() - start) * 1000 / iterations
+            guarded_best = min(guarded_best, sample)
+        rows.append(
+            GuardOverheadRow(
+                workload=name,
+                engine=engine,
+                trials=trials,
+                unguarded_ms=unguarded_best,
+                guarded_ms=guarded_best,
+                overhead_pct=(guarded_best - unguarded_best) / unguarded_best * 100.0,
+                identical_output=guarded_result == baseline,
+                outcome=outcome,
+            )
+        )
+    return rows

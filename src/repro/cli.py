@@ -22,6 +22,18 @@ All commands exit 0 on success; ``compare`` and ``impact`` exit 1 when
 discrepancies exist and ``equivalent`` exits 1 when the policies differ,
 so the commands compose into shell checks (e.g. CI gates on policy
 changes).
+
+``compare``, ``equivalent``, and ``impact`` accept execution budgets
+(see ``docs/robustness.md``): ``--deadline SECONDS`` and
+``--max-nodes N`` bound the run, and ``--approx-fallback`` degrades to
+sampling-based comparison instead of failing when the budget trips.
+Exit codes:
+
+* ``0`` — success (no discrepancies / equivalent / no-op change);
+* ``1`` — discrepancies found (exact result);
+* ``2`` — usage or input error;
+* ``3`` — budget exceeded and no fallback requested;
+* ``4`` — budget exceeded, approximate (sampled) report produced.
 """
 
 from __future__ import annotations
@@ -33,16 +45,67 @@ from typing import Sequence
 from repro.analysis import (
     aggregate_discrepancies,
     analyze_change,
+    compare_with_fallback,
     find_anomalies,
     format_discrepancy_table,
     remove_redundant_rules,
     run_query,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import BudgetExceededError, ReproError
 from repro.fdd import compare_firewalls
+from repro.guard import Budget, GuardContext
 from repro.policy import dumps, load, to_cisco_acl, to_iptables, to_table
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_DISCREPANCIES",
+    "EXIT_ERROR",
+    "EXIT_BUDGET_EXCEEDED",
+    "EXIT_APPROXIMATE",
+]
+
+#: Exit codes (documented in docs/robustness.md).
+EXIT_OK = 0
+EXIT_DISCREPANCIES = 1
+EXIT_ERROR = 2
+EXIT_BUDGET_EXCEEDED = 3
+EXIT_APPROXIMATE = 4
+
+
+def _add_guard_options(sub, *, fallback: bool = True) -> None:
+    """Budget options shared by the comparison-shaped commands."""
+    sub.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; exceeding it aborts with exit code 3",
+    )
+    sub.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on FDD nodes expanded across the whole pipeline",
+    )
+    if fallback:
+        sub.add_argument(
+            "--approx-fallback",
+            action="store_true",
+            help=(
+                "on budget exhaustion, fall back to sampling-based"
+                " comparison (approximate report, exit code 4)"
+            ),
+        )
+
+
+def _budget_from_args(args) -> Budget | None:
+    """A :class:`Budget` from ``--deadline``/``--max-nodes``, or ``None``."""
+    if args.deadline is None and args.max_nodes is None:
+        return None
+    return Budget(deadline_s=args.deadline, max_nodes=args.max_nodes)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,18 +124,21 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--raw", action="store_true", help="print raw cells (skip aggregation)"
     )
+    _add_guard_options(compare)
 
     impact = sub.add_parser(
         "impact", help="change impact analysis: before vs after"
     )
     impact.add_argument("before")
     impact.add_argument("after")
+    _add_guard_options(impact, fallback=False)
 
     equivalent = sub.add_parser(
         "equivalent", help="check two policies for semantic equivalence"
     )
     equivalent.add_argument("policy_a")
     equivalent.add_argument("policy_b")
+    _add_guard_options(equivalent)
 
     query = sub.add_parser("query", help="answer a query against a policy")
     query.add_argument("policy")
@@ -138,36 +204,81 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_compare(args) -> int:
     fw_a = load(args.policy_a)
     fw_b = load(args.policy_b)
-    discs = compare_firewalls(fw_a, fw_b)
+    budget = _budget_from_args(args)
+    approximate = False
+    coverage = 1.0
+    if args.approx_fallback:
+        report = compare_with_fallback(fw_a, fw_b, budget=budget)
+        discs = list(report.discrepancies)
+        approximate = report.approximate
+        coverage = report.coverage
+    else:
+        guard = GuardContext(budget) if budget is not None else None
+        discs = compare_firewalls(fw_a, fw_b, guard=guard)
     if not args.raw:
         discs = aggregate_discrepancies(discs)
     if not discs:
+        if approximate:
+            print(
+                "no disagreement found by sampling"
+                f" (approximate; coverage ~{coverage:.2e});"
+                " equivalence NOT proven"
+            )
+            return EXIT_APPROXIMATE
         print("the two policies are semantically equivalent")
-        return 0
+        return EXIT_OK
+    title = f"{len(discs)} functional discrepancy region(s)"
+    if approximate:
+        title += f" (approximate: sampled, coverage ~{coverage:.2e})"
     print(
         format_discrepancy_table(
             discs,
             name_a=fw_a.name or "A",
             name_b=fw_b.name or "B",
-            title=f"{len(discs)} functional discrepancy region(s)",
+            title=title,
         )
     )
-    return 1
+    return EXIT_APPROXIMATE if approximate else EXIT_DISCREPANCIES
 
 
 def _cmd_impact(args) -> int:
-    report = analyze_change(load(args.before), load(args.after))
+    budget = _budget_from_args(args)
+    guard = GuardContext(budget) if budget is not None else None
+    report = analyze_change(load(args.before), load(args.after), guard=guard)
     print(report.render())
-    return 0 if report.is_noop else 1
+    return EXIT_OK if report.is_noop else EXIT_DISCREPANCIES
 
 
 def _cmd_equivalent(args) -> int:
-    discs = compare_firewalls(load(args.policy_a), load(args.policy_b))
+    fw_a = load(args.policy_a)
+    fw_b = load(args.policy_b)
+    budget = _budget_from_args(args)
+    if args.approx_fallback:
+        report = compare_with_fallback(fw_a, fw_b, budget=budget)
+        if report.approximate:
+            if report.discrepancies:
+                # A sampled disagreement is a concrete witness packet, so
+                # non-equivalence is proven even though the report is partial.
+                print(
+                    f"NOT equivalent: {len(report.discrepancies)} witness"
+                    " packet(s) found by sampling"
+                )
+                return EXIT_DISCREPANCIES
+            print(
+                "no disagreement found by sampling"
+                f" (approximate; coverage ~{report.coverage:.2e});"
+                " equivalence NOT proven"
+            )
+            return EXIT_APPROXIMATE
+        discs = list(report.discrepancies)
+    else:
+        guard = GuardContext(budget) if budget is not None else None
+        discs = compare_firewalls(fw_a, fw_b, guard=guard)
     if discs:
         print(f"NOT equivalent: {len(aggregate_discrepancies(discs))} region(s) differ")
-        return 1
+        return EXIT_DISCREPANCIES
     print("equivalent")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_query(args) -> int:
@@ -293,10 +404,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _COMMANDS[args.command](args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.progress:
+            progress = ", ".join(f"{k}={v}" for k, v in exc.progress.items())
+            print(f"progress at abort: {progress}", file=sys.stderr)
+        print(
+            "hint: raise --deadline/--max-nodes, or pass --approx-fallback"
+            " for a sampled partial report",
+            file=sys.stderr,
+        )
+        return EXIT_BUDGET_EXCEEDED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

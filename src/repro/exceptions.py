@@ -105,3 +105,81 @@ class ResolutionError(ReproError):
 
 class QueryError(ReproError):
     """A firewall query (extension module) was malformed."""
+
+
+class GuardError(ReproError):
+    """Base class for guarded-execution failures (:mod:`repro.guard`).
+
+    Theorem 1 bounds FDD paths by ``(2n - 1)^d``, so every long-running
+    algorithm in the pipeline runs under an (optional) resource budget.
+    Guard errors are *clean*: they unwind before any caller-visible
+    structure is mutated, so catching one always leaves inputs intact.
+    """
+
+
+class BudgetExceededError(GuardError):
+    """A guarded computation ran out of one of its resource budgets.
+
+    Machine-readable attributes identify which budget tripped and how far
+    the computation got, so callers can decide between retrying with a
+    larger budget and degrading to an approximate mode:
+
+    ``resource``
+        Which budget tripped: ``"deadline"``, ``"fdd-nodes"``,
+        ``"edges-split"``, ``"discrepancies"``, or ``"uncovered-regions"``.
+    ``spent``
+        How much of the resource was consumed when the check fired
+        (seconds for deadlines, counts otherwise).
+    ``limit``
+        The configured budget for that resource.
+    ``progress``
+        Optional dict witnessing how far the computation got (e.g. rules
+        processed so far), for diagnostics and partial-result reporting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str,
+        spent: float | int,
+        limit: float | int,
+        progress: dict | None = None,
+    ):
+        super().__init__(message)
+        #: Name of the exhausted resource (see class docstring).
+        self.resource = resource
+        #: Amount of the resource consumed when the check fired.
+        self.spent = spent
+        #: The configured budget for the resource.
+        self.limit = limit
+        #: Optional progress witness (counts of completed work units).
+        self.progress = dict(progress) if progress else {}
+
+
+class CancelledError(GuardError):
+    """A guarded computation observed its cancellation token.
+
+    Cooperative: the computation polls the token at amortized intervals
+    and unwinds cleanly at the next poll after :meth:`GuardContext.cancel`.
+    """
+
+    def __init__(self, message: str = "operation cancelled", *, site: str | None = None):
+        if site is not None:
+            message = f"{message} (at {site})"
+        super().__init__(message)
+        #: The guard checkpoint site that observed the cancellation, if known.
+        self.site = site
+
+
+class FaultInjectedError(GuardError):
+    """Default error raised by an armed :class:`repro.guard.FaultInjector`.
+
+    Only ever raised in tests that deliberately arm an injector; carries
+    the site name so assertions can verify *where* the fault fired.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"injected fault at {site}")
+        #: The guard checkpoint site the fault fired at.
+        self.site = site

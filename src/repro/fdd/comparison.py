@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.analysis.discrepancy import Discrepancy
 from repro.exceptions import NotSemiIsomorphicError, SchemaError
 from repro.fields import FieldSchema
+from repro.guard import GuardContext
 from repro.intervals import IntervalSet
 from repro.policy.firewall import Firewall
 from repro.fdd.construction import construct_fdd
@@ -31,11 +32,17 @@ from repro.fdd.shaping import make_semi_isomorphic
 __all__ = ["compare_shaped", "compare_fdds", "compare_firewalls", "compare_direct"]
 
 
-def compare_shaped(fa: FDD, fb: FDD) -> list[Discrepancy]:
+def compare_shaped(
+    fa: FDD, fb: FDD, *, guard: GuardContext | None = None
+) -> list[Discrepancy]:
     """Compare two semi-isomorphic FDDs (Section 5).
 
     Walks companion decision paths in lockstep and returns one
     :class:`Discrepancy` per companion pair whose decisions differ.
+
+    ``guard`` ticks one node per visited pair and one discrepancy per
+    emitted cell; the walk is read-only, so a budget trip leaves both
+    inputs untouched.
     """
     if fa.schema != fb.schema:
         raise SchemaError("cannot compare FDDs over different field schemas")
@@ -44,12 +51,18 @@ def compare_shaped(fa: FDD, fb: FDD) -> list[Discrepancy]:
     out: list[Discrepancy] = []
 
     def rec(na: Node, nb: Node, sets: tuple[IntervalSet, ...]) -> None:
+        if guard is not None:
+            guard.tick_nodes()
+            if guard.fault is not None:
+                guard.fault.fire("comparison.visit")
         if isinstance(na, TerminalNode):
             if not isinstance(nb, TerminalNode):
                 raise NotSemiIsomorphicError(
                     "terminal paired with nonterminal; run the shaping algorithm first"
                 )
             if na.decision != nb.decision:
+                if guard is not None:
+                    guard.tick_discrepancies()
                 out.append(Discrepancy(schema, sets, na.decision, nb.decision))
             return
         if isinstance(nb, TerminalNode) or na.field_index != nb.field_index:
@@ -79,18 +92,28 @@ def compare_shaped(fa: FDD, fb: FDD) -> list[Discrepancy]:
     return out
 
 
-def compare_fdds(fa: FDD, fb: FDD) -> list[Discrepancy]:
+def compare_fdds(
+    fa: FDD, fb: FDD, *, guard: GuardContext | None = None
+) -> list[Discrepancy]:
     """Shape two ordered FDDs, then compare them (algorithms 2 + 3)."""
-    shaped_a, shaped_b = make_semi_isomorphic(fa, fb)
-    return compare_shaped(shaped_a, shaped_b)
+    shaped_a, shaped_b = make_semi_isomorphic(fa, fb, guard=guard)
+    return compare_shaped(shaped_a, shaped_b, guard=guard)
 
 
-def compare_firewalls(fw_a: Firewall, fw_b: Firewall) -> list[Discrepancy]:
+def compare_firewalls(
+    fw_a: Firewall, fw_b: Firewall, *, guard: GuardContext | None = None
+) -> list[Discrepancy]:
     """All functional discrepancies between two firewalls (Sections 3-5).
 
     The full pipeline: construct an ordered FDD from each rule sequence,
     shape the two FDDs semi-isomorphic, compare.  An empty result means
     the two firewalls are semantically equivalent.
+
+    ``guard`` bounds the whole pipeline with one shared budget; on
+    exhaustion a :class:`~repro.exceptions.BudgetExceededError` with
+    ``resource``/``spent``/``limit`` attributes propagates (see
+    :func:`repro.analysis.approximate.compare_with_fallback` for the
+    degraded mode that samples instead of crashing).
 
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
@@ -103,10 +126,16 @@ def compare_firewalls(fw_a: Firewall, fw_b: Firewall) -> list[Discrepancy]:
     """
     if fw_a.schema != fw_b.schema:
         raise SchemaError("cannot compare firewalls over different field schemas")
-    return compare_fdds(construct_fdd(fw_a), construct_fdd(fw_b))
+    return compare_fdds(
+        construct_fdd(fw_a, guard=guard),
+        construct_fdd(fw_b, guard=guard),
+        guard=guard,
+    )
 
 
-def compare_direct(fw_a: Firewall, fw_b: Firewall) -> list[Discrepancy]:
+def compare_direct(
+    fw_a: Firewall, fw_b: Firewall, *, guard: GuardContext | None = None
+) -> list[Discrepancy]:
     """Fused comparison: one simultaneous traversal, no shaping phase.
 
     Recursively intersects the outgoing edge labels of the two (ordered)
@@ -116,15 +145,19 @@ def compare_direct(fw_a: Firewall, fw_b: Firewall) -> list[Discrepancy]:
     """
     if fw_a.schema != fw_b.schema:
         raise SchemaError("cannot compare firewalls over different field schemas")
-    fa = construct_fdd(fw_a)
-    fb = construct_fdd(fw_b)
+    fa = construct_fdd(fw_a, guard=guard)
+    fb = construct_fdd(fw_b, guard=guard)
     schema: FieldSchema = fa.schema
     domains = tuple(f.domain_set for f in schema)
     out: list[Discrepancy] = []
 
     def rec(na: Node, nb: Node, sets: tuple[IntervalSet, ...]) -> None:
+        if guard is not None:
+            guard.tick_nodes()
         if isinstance(na, TerminalNode) and isinstance(nb, TerminalNode):
             if na.decision != nb.decision:
+                if guard is not None:
+                    guard.tick_discrepancies()
                 out.append(Discrepancy(schema, sets, na.decision, nb.decision))
             return
         # Descend along the smaller field label; a terminal acts as a node

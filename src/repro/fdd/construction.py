@@ -27,6 +27,7 @@ from typing import Sequence
 
 from repro.exceptions import PolicyError
 from repro.fields import FieldSchema
+from repro.guard import GuardContext
 from repro.intervals import IntervalSet
 from repro.policy.decision import Decision
 from repro.policy.firewall import Firewall
@@ -63,6 +64,7 @@ def _append(
     sets: Sequence[IntervalSet],
     decision: Decision,
     index: int,
+    guard: GuardContext | None = None,
 ) -> None:
     """Append the rule suffix ``F_index in S_index and ...`` at ``node``.
 
@@ -70,6 +72,8 @@ def _append(
     field ``index`` (construction keeps all fields on every path, so the
     node's label always equals ``index`` here).
     """
+    if guard is not None:
+        guard.tick_nodes()
     if isinstance(node, TerminalNode):
         # Packets reaching a terminal matched an earlier rule; first-match
         # resolution means the new rule contributes nothing here.
@@ -101,30 +105,44 @@ def _append(
             continue  # case (i): S1 and I(e) disjoint -> skip the edge
         if overlap == edge.label:
             # case (ii): edge fully inside the rule's set -> push down.
-            _append(edge.target, schema, sets, decision, index + 1)
+            _append(edge.target, schema, sets, decision, index + 1, guard)
         else:
             # case (iii): split e into e' (outside) and e'' (overlap), with
             # a replicated subgraph for e''; then push the rule into e''.
+            if guard is not None:
+                guard.tick_splits()
             outside = edge.label - overlap
             copy: Node = edge.target.clone()
             edge.label = outside
             overlap_edge = Edge(overlap, copy)
             new_edges.append(overlap_edge)
-            _append(copy, schema, sets, decision, index + 1)
+            _append(copy, schema, sets, decision, index + 1, guard)
     node.edges.extend(new_edges)
 
 
-def append_rule(fdd: FDD, rule: Rule) -> None:
-    """Append one rule to a partial FDD in place (Fig. 7's outer loop)."""
-    _append(fdd.root, fdd.schema, rule.predicate.sets, rule.decision, 0)
+def append_rule(fdd: FDD, rule: Rule, *, guard: GuardContext | None = None) -> None:
+    """Append one rule to a partial FDD in place (Fig. 7's outer loop).
+
+    In-place and therefore *not* atomic under budget exhaustion: a
+    :class:`~repro.exceptions.BudgetExceededError` mid-append can leave
+    ``fdd`` partially updated.  Guarded callers should prefer
+    :func:`construct_fdd`, which builds into a private diagram and either
+    returns it whole or raises without exposing it.
+    """
+    _append(fdd.root, fdd.schema, rule.predicate.sets, rule.decision, 0, guard)
 
 
-def construct_fdd(firewall: Firewall) -> FDD:
+def construct_fdd(firewall: Firewall, *, guard: GuardContext | None = None) -> FDD:
     """Construct an ordered FDD equivalent to ``firewall`` (Section 3.2).
 
     The firewall must be comprehensive (the paper's standing assumption);
     the returned diagram satisfies both consistency and completeness and
     maps every packet to ``firewall(packet)``.
+
+    ``guard`` bounds the construction (node expansions, edge splits, the
+    deadline); on exhaustion the partial diagram is discarded and a
+    :class:`~repro.exceptions.BudgetExceededError` propagates — the
+    function either returns a complete FDD or nothing.
 
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
@@ -146,5 +164,7 @@ def construct_fdd(firewall: Firewall) -> FDD:
     )
     fdd = FDD(firewall.schema, root)
     for rule in rules[1:]:
-        append_rule(fdd, rule)
+        if guard is not None:
+            guard.checkpoint("construction.rule")
+        append_rule(fdd, rule, guard=guard)
     return fdd

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from repro.analysis.discrepancy import Discrepancy
 from repro.exceptions import SchemaError
 from repro.fields import FieldSchema
+from repro.guard import GuardContext
 from repro.intervals import IntervalSet
 from repro.policy.decision import Decision
 from repro.policy.firewall import Firewall
@@ -109,7 +110,10 @@ class HashConsStore:
 
 
 def construct_fdd_fast(
-    firewall: Firewall, store: HashConsStore | None = None
+    firewall: Firewall,
+    store: HashConsStore | None = None,
+    *,
+    guard: GuardContext | None = None,
 ) -> FDD:
     """Equivalent of :func:`repro.fdd.construction.construct_fdd`, shared.
 
@@ -131,6 +135,8 @@ def construct_fdd_fast(
         return node
 
     def append(node: Node, rule_sets, decision: Decision, index: int, memo) -> Node:
+        if guard is not None:
+            guard.tick_nodes()
         if isinstance(node, TerminalNode):
             return node
         found = memo.get(id(node))
@@ -165,6 +171,8 @@ def construct_fdd_fast(
     first = firewall.rules[0]
     root = chain(first.predicate.sets, first.decision, 0)
     for rule in firewall.rules[1:]:
+        if guard is not None:
+            guard.checkpoint("fast.rule")
         memo: dict[int, Node] = {}
         root = append(root, rule.predicate.sets, rule.decision, 0, memo)
     return FDD(schema, root)
@@ -228,18 +236,25 @@ class DifferenceFDD:
         root_level = level_of(self.root)
         return count(self.root) * (suffix[0] // suffix[root_level])
 
-    def discrepancies(self, limit: int | None = None) -> list[Discrepancy]:
+    def discrepancies(
+        self, limit: int | None = None, *, guard: GuardContext | None = None
+    ) -> list[Discrepancy]:
         """Enumerate explicit discrepancy cells (the reference pipeline's
-        output form).  ``limit`` caps the enumeration for huge diffs."""
+        output form).  ``limit`` caps the enumeration for huge diffs;
+        ``guard`` additionally enforces its discrepancy/deadline budget."""
         domains = tuple(f.domain_set for f in self.schema)
         out: list[Discrepancy] = []
 
         def rec(node, sets) -> bool:
             if limit is not None and len(out) >= limit:
                 return False
+            if guard is not None:
+                guard.tick_nodes()
             if not isinstance(node, _PairNode):
                 dec_a, dec_b = node
                 if dec_a != dec_b:
+                    if guard is not None:
+                        guard.tick_discrepancies()
                     out.append(Discrepancy(self.schema, sets, dec_a, dec_b))
                 return True
             for label, child in node.edges:
@@ -296,7 +311,9 @@ class _PairNode:
         self.edges = edges
 
 
-def compare_fast(fw_a: Firewall, fw_b: Firewall) -> DifferenceFDD:
+def compare_fast(
+    fw_a: Firewall, fw_b: Firewall, *, guard: GuardContext | None = None
+) -> DifferenceFDD:
     """Build the difference FDD of two firewalls (scalable comparison).
 
     Constructs both hash-consed FDDs, then intersects them with a product
@@ -316,10 +333,16 @@ def compare_fast(fw_a: Firewall, fw_b: Firewall) -> DifferenceFDD:
     """
     if fw_a.schema != fw_b.schema:
         raise SchemaError("cannot compare firewalls over different field schemas")
-    return build_difference(construct_fdd_fast(fw_a), construct_fdd_fast(fw_b))
+    return build_difference(
+        construct_fdd_fast(fw_a, guard=guard),
+        construct_fdd_fast(fw_b, guard=guard),
+        guard=guard,
+    )
 
 
-def build_difference(fdd_a: FDD, fdd_b: FDD) -> DifferenceFDD:
+def build_difference(
+    fdd_a: FDD, fdd_b: FDD, *, guard: GuardContext | None = None
+) -> DifferenceFDD:
     """Product-walk two ordered FDDs into a :class:`DifferenceFDD`."""
     if fdd_a.schema != fdd_b.schema:
         raise SchemaError("cannot compare FDDs over different field schemas")
@@ -353,6 +376,10 @@ def build_difference(fdd_a: FDD, fdd_b: FDD) -> DifferenceFDD:
         return found
 
     def product(na: Node, nb: Node):
+        if guard is not None:
+            guard.tick_nodes()
+            if guard.fault is not None:
+                guard.fault.fire("fast.product")
         key = (id(na), id(nb))
         found = memo.get(key)
         if found is not None:

@@ -20,6 +20,7 @@ firewall compaction step [19].
 from __future__ import annotations
 
 from repro.fields import FieldSchema
+from repro.guard import GuardContext
 from repro.intervals import IntervalSet
 from repro.policy.decision import Decision
 from repro.policy.firewall import Firewall
@@ -33,11 +34,18 @@ from repro.fdd.reduce import reduce_fdd
 __all__ = ["generate_firewall", "generate_rules"]
 
 
-def generate_rules(fdd: FDD, marking: Marking | None = None) -> list[Rule]:
+def generate_rules(
+    fdd: FDD,
+    marking: Marking | None = None,
+    *,
+    guard: GuardContext | None = None,
+) -> list[Rule]:
     """Generate an ordered rule list equivalent to ``fdd``.
 
     ``marking`` defaults to the load-minimizing marking of
-    :func:`repro.fdd.marking.mark_fdd`.
+    :func:`repro.fdd.marking.mark_fdd`.  ``guard`` ticks one node per
+    visit (the rule count equals the path count, so the node budget also
+    bounds output size); the traversal is read-only.
     """
     if marking is None:
         marking = mark_fdd(fdd) if isinstance(fdd.root, InternalNode) else {}
@@ -45,6 +53,10 @@ def generate_rules(fdd: FDD, marking: Marking | None = None) -> list[Rule]:
     domains = tuple(f.domain_set for f in schema)
 
     def rec(node: Node, sets: tuple[IntervalSet, ...]) -> list[tuple[tuple[IntervalSet, ...], Decision]]:
+        if guard is not None:
+            guard.tick_nodes()
+            if guard.fault is not None:
+                guard.fault.fire("generation.visit")
         if isinstance(node, TerminalNode):
             return [(sets, node.decision)]
         chosen = marking.get(id(node))
@@ -72,6 +84,7 @@ def generate_firewall(
     name: str = "",
     reduce: bool = True,
     compact: bool = True,
+    guard: GuardContext | None = None,
 ) -> Firewall:
     """Generate a compact firewall equivalent to ``fdd`` (Method 1, step 2).
 
@@ -89,9 +102,11 @@ def generate_firewall(
     >>> all(regenerated(p) == fw(p) for p in [(0, 0), (3, 9), (9, 9)])
     True
     """
+    if guard is not None:
+        guard.checkpoint("generation.start")
     if reduce:
         fdd = reduce_fdd(fdd)
-    rules = generate_rules(fdd)
+    rules = generate_rules(fdd, guard=guard)
     firewall = Firewall(fdd.schema, rules, name=name)
     if compact:
         # Local import: redundancy analysis itself runs the comparison

@@ -25,6 +25,7 @@ from collections import deque
 
 from repro.exceptions import NotOrderedError, SchemaError
 from repro.fields import FieldSchema
+from repro.guard import GuardContext
 from repro.intervals import IntervalSet
 from repro.fdd.fdd import FDD
 from repro.fdd.node import Edge, InternalNode, Node, TerminalNode
@@ -79,7 +80,10 @@ def _insert_above(slot: _Slot, field_index: int, schema: FieldSchema) -> Interna
 
 
 def shape_node_pair(
-    slot_a: _Slot, slot_b: _Slot, schema: FieldSchema
+    slot_a: _Slot,
+    slot_b: _Slot,
+    schema: FieldSchema,
+    guard: GuardContext | None = None,
 ) -> list[tuple[Edge, Edge]]:
     """Make two shapable nodes semi-isomorphic (Fig. 10's Node_Shaping).
 
@@ -121,11 +125,15 @@ def shape_node_pair(
             i += 1
             j += 1
         elif ia.hi < ib.hi:
+            if guard is not None:
+                guard.tick_splits()
             _split_edge(vb, j, ia.hi)
             pairs.append((edge_a, vb.edges[j]))
             i += 1
             j += 1
         else:
+            if guard is not None:
+                guard.tick_splits()
             _split_edge(va, i, ib.hi)
             pairs.append((va.edges[i], edge_b))
             i += 1
@@ -151,24 +159,36 @@ def _split_edge(node: InternalNode, index: int, split_hi: int) -> None:
     node.edges.insert(index + 1, Edge(IntervalSet([high]), replica))
 
 
-def make_semi_isomorphic(fa: FDD, fb: FDD) -> tuple[FDD, FDD]:
+def make_semi_isomorphic(
+    fa: FDD, fb: FDD, *, guard: GuardContext | None = None
+) -> tuple[FDD, FDD]:
     """Shape two ordered FDDs into semi-isomorphic form (Fig. 11).
 
     Inputs are left untouched; the returned pair consists of fresh simple
     FDDs, semantically equivalent to their respective inputs, that are
     semi-isomorphic to each other.
+
+    ``guard`` bounds the work (one node tick per shaped pair, one split
+    tick per edge split).  Shaping mutates only the fresh copies, so a
+    budget trip mid-queue discards them and leaves the inputs intact.
     """
     if fa.schema != fb.schema:
         raise SchemaError("cannot shape FDDs over different field schemas")
     if not fa.is_ordered() or not fb.is_ordered():
         raise NotOrderedError("shaping requires ordered FDDs (Definition 4.1)")
+    if guard is not None:
+        guard.checkpoint("shaping.start")
     fa = make_simple(fa)
     fb = make_simple(fb)
     queue: deque[tuple[_Slot, _Slot]] = deque()
     queue.append((_Slot(fdd=fa), _Slot(fdd=fb)))
     while queue:
         slot_a, slot_b = queue.popleft()
-        for edge_a, edge_b in shape_node_pair(slot_a, slot_b, fa.schema):
+        if guard is not None:
+            guard.tick_nodes()
+            if guard.fault is not None:
+                guard.fault.fire("shaping.pair")
+        for edge_a, edge_b in shape_node_pair(slot_a, slot_b, fa.schema, guard):
             queue.append((_Slot(edge=edge_a), _Slot(edge=edge_b)))
     return fa, fb
 

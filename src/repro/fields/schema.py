@@ -30,6 +30,7 @@ from repro.addr import (
     IPV4_MAX,
     PORT_MAX,
     PROTOCOL_MAX,
+    ascii_digits,
     format_ip_set,
     format_port_set,
     format_protocol_set,
@@ -146,10 +147,13 @@ class Field:
         # INTERFACE and GENERIC: integers and lo-hi ranges.
         if "-" in atom:
             lo_txt, _, hi_txt = atom.partition("-")
-            if lo_txt.strip().isdigit() and hi_txt.strip().isdigit():
-                return Interval(int(lo_txt), int(hi_txt))
+            if ascii_digits(lo_txt.strip()) and ascii_digits(hi_txt.strip()):
+                lo, hi = int(lo_txt), int(hi_txt)
+                if lo > hi:
+                    raise AddressError(f"range {atom!r} has lo > hi for field {self.name}")
+                return Interval(lo, hi)
             raise AddressError(f"bad range {atom!r} for field {self.name}")
-        if atom.isdigit():
+        if ascii_digits(atom):
             value = int(atom)
             return Interval(value, value)
         raise AddressError(f"bad value {atom!r} for field {self.name}")

@@ -1,0 +1,84 @@
+"""Resource budgets for the guarded execution layer.
+
+A :class:`Budget` is a declarative bundle of limits — wall-clock deadline,
+FDD nodes expanded, edges split, discrepancies emitted — that a
+:class:`~repro.guard.context.GuardContext` enforces over the pipeline's
+hot loops.  Budgets are immutable and reusable: the same budget can guard
+many runs; the mutable spending state lives in the context.
+
+The limits map onto the quantities Theorem 1 says can explode:
+
+* ``max_nodes`` bounds node expansions — the dominant work unit of
+  construction (Fig. 7), shaping (Fig. 11), comparison (Section 5), and
+  the fast engine's product walk;
+* ``max_splits`` bounds edge splits/subgraph replications — the paper's
+  mechanism for the ``(2n - 1)^d`` path blow-up;
+* ``max_discrepancies`` bounds output size (and doubles as the BDD
+  baseline's cube cap, replacing the old ad-hoc ``cube_limit``);
+* ``deadline_s`` bounds wall-clock time regardless of which phase is
+  burning it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GuardError
+
+__all__ = ["Budget"]
+
+
+@dataclass(frozen=True, slots=True)
+class Budget:
+    """Immutable resource limits; ``None`` means unlimited.
+
+    >>> Budget(deadline_s=2.0, max_nodes=100_000).bounded()
+    True
+    >>> Budget.unlimited().bounded()
+    False
+    """
+
+    #: Wall-clock deadline in seconds (measured from context creation).
+    deadline_s: float | None = None
+    #: Maximum FDD node expansions across all guarded phases.
+    max_nodes: int | None = None
+    #: Maximum edge splits / subgraph replications.
+    max_splits: int | None = None
+    #: Maximum discrepancies (or BDD cubes) emitted.
+    max_discrepancies: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("deadline_s", "max_nodes", "max_splits", "max_discrepancies"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise GuardError(f"budget {name} must be non-negative, got {value}")
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """A budget with no limits (guard bookkeeping only)."""
+        return cls()
+
+    def bounded(self) -> bool:
+        """True when at least one limit is set."""
+        return any(
+            value is not None
+            for value in (
+                self.deadline_s,
+                self.max_nodes,
+                self.max_splits,
+                self.max_discrepancies,
+            )
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``deadline=2.0s, max_nodes=100000``."""
+        parts = []
+        if self.deadline_s is not None:
+            parts.append(f"deadline={self.deadline_s}s")
+        if self.max_nodes is not None:
+            parts.append(f"max_nodes={self.max_nodes}")
+        if self.max_splits is not None:
+            parts.append(f"max_splits={self.max_splits}")
+        if self.max_discrepancies is not None:
+            parts.append(f"max_discrepancies={self.max_discrepancies}")
+        return ", ".join(parts) if parts else "unlimited"

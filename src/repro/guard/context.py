@@ -1,0 +1,228 @@
+"""Cooperative cancellation and budget enforcement for hot loops.
+
+A :class:`GuardContext` is the mutable companion of a
+:class:`~repro.guard.budget.Budget`: it carries the spend counters, the
+deadline clock, a cooperative cancellation token, and an optional
+:class:`~repro.guard.fault.FaultInjector`.  One context guards one
+logical operation (e.g. a full compare pipeline); its counters accumulate
+across phases so the budget bounds the *whole* run, not each phase.
+
+Overhead discipline
+-------------------
+The guarded algorithms visit millions of nodes, so every tick must stay
+cheap:
+
+* counter limits are single integer compares, done on every tick;
+* the wall clock (``time.monotonic``) and the cancellation flag are only
+  polled every ``check_every`` ticks (amortized; default 256), so a
+  deadline fires at most ``check_every`` node expansions late;
+* unguarded runs pass ``guard=None`` and pay one ``is None`` branch per
+  site — measured at well under the 3% overhead target (see
+  ``benchmarks/bench_guard_overhead.py``).
+
+Checkpoints (:meth:`GuardContext.checkpoint`) mark coarse, *named* sites
+(per-rule, per-phase).  They poll the clock and the cancellation token
+unconditionally and are where a :class:`FaultInjector` can force a
+failure for unwind-cleanliness tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import BudgetExceededError, CancelledError
+from repro.guard.budget import Budget
+from repro.guard.fault import FaultInjector
+
+__all__ = ["GuardContext"]
+
+
+class GuardContext:
+    """Threads a budget, a cancel token, and fault hooks through a run.
+
+    >>> guard = GuardContext(Budget(max_nodes=10))
+    >>> for _ in range(10):
+    ...     guard.tick_nodes()
+    >>> guard.tick_nodes()
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.BudgetExceededError: FDD node budget exceeded: 11 > 10
+    """
+
+    __slots__ = (
+        "budget",
+        "fault",
+        "nodes_expanded",
+        "edges_split",
+        "discrepancies_found",
+        "exhausted",
+        "_max_nodes",
+        "_max_splits",
+        "_max_discrepancies",
+        "_started",
+        "_deadline_at",
+        "_cancelled",
+        "_check_every",
+        "_until_check",
+    )
+
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        *,
+        fault: FaultInjector | None = None,
+        check_every: int = 256,
+    ):
+        self.budget = budget if budget is not None else Budget.unlimited()
+        self.fault = fault
+        #: Total FDD node expansions ticked so far (all phases).
+        self.nodes_expanded = 0
+        #: Total edge splits / subgraph replications ticked so far.
+        self.edges_split = 0
+        #: Total discrepancies (or BDD cubes) ticked so far.
+        self.discrepancies_found = 0
+        #: Resource name of the budget that tripped, or ``None``.
+        self.exhausted: str | None = None
+        self._max_nodes = self.budget.max_nodes
+        self._max_splits = self.budget.max_splits
+        self._max_discrepancies = self.budget.max_discrepancies
+        self._started = time.monotonic()
+        self._deadline_at = (
+            self._started + self.budget.deadline_s
+            if self.budget.deadline_s is not None
+            else None
+        )
+        self._cancelled = False
+        self._check_every = max(1, check_every)
+        self._until_check = self._check_every
+
+    # ------------------------------------------------------------------
+    # Cancellation token
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Request cooperative cancellation (thread-safe: one flag write).
+
+        The guarded computation raises
+        :class:`~repro.exceptions.CancelledError` at its next checkpoint
+        or amortized periodic check.
+        """
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def elapsed_s(self) -> float:
+        """Seconds since the context was created."""
+        return time.monotonic() - self._started
+
+    def remaining_s(self) -> float | None:
+        """Seconds left before the deadline, or ``None`` if unlimited."""
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Hot-loop ticks (amortized checks)
+    # ------------------------------------------------------------------
+    def tick_nodes(self, count: int = 1) -> None:
+        """Record ``count`` node expansions; enforce limits amortized."""
+        self.nodes_expanded += count
+        if self._max_nodes is not None and self.nodes_expanded > self._max_nodes:
+            self._trip("fdd-nodes", self.nodes_expanded, self._max_nodes)
+        self._until_check -= count
+        if self._until_check <= 0:
+            self._periodic_check()
+
+    def tick_splits(self, count: int = 1) -> None:
+        """Record ``count`` edge splits / subgraph replications."""
+        self.edges_split += count
+        if self._max_splits is not None and self.edges_split > self._max_splits:
+            self._trip("edges-split", self.edges_split, self._max_splits)
+
+    def tick_discrepancies(self, count: int = 1) -> None:
+        """Record ``count`` emitted discrepancies (or BDD cubes)."""
+        self.discrepancies_found += count
+        if (
+            self._max_discrepancies is not None
+            and self.discrepancies_found > self._max_discrepancies
+        ):
+            self._trip(
+                "discrepancies", self.discrepancies_found, self._max_discrepancies
+            )
+
+    # ------------------------------------------------------------------
+    # Coarse checkpoints (named sites; unconditional checks)
+    # ------------------------------------------------------------------
+    def checkpoint(self, site: str) -> None:
+        """Full check at a named site: faults, cancellation, deadline."""
+        if self.fault is not None:
+            self.fault.fire(site)
+        if self._cancelled:
+            raise CancelledError(site=site)
+        if self._deadline_at is not None and time.monotonic() > self._deadline_at:
+            self._trip("deadline", self.elapsed_s(), self.budget.deadline_s)
+
+    def _periodic_check(self) -> None:
+        self._until_check = self._check_every
+        if self._cancelled:
+            raise CancelledError()
+        if self._deadline_at is not None and time.monotonic() > self._deadline_at:
+            self._trip("deadline", self.elapsed_s(), self.budget.deadline_s)
+
+    def _trip(self, resource: str, spent, limit) -> None:
+        self.exhausted = resource
+        names = {
+            "deadline": "wall-clock deadline",
+            "fdd-nodes": "FDD node budget",
+            "edges-split": "edge-split budget",
+            "discrepancies": "discrepancy budget",
+        }
+        if resource == "deadline":
+            message = (
+                f"{names[resource]} exceeded: {spent:.3f}s > {limit}s"
+            )
+        else:
+            message = f"{names[resource]} exceeded: {spent} > {limit}"
+        raise BudgetExceededError(
+            message,
+            resource=resource,
+            spent=spent,
+            limit=limit,
+            progress=self.progress(),
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def progress(self) -> dict:
+        """Counters witnessing how far the guarded run got."""
+        return {
+            "nodes_expanded": self.nodes_expanded,
+            "edges_split": self.edges_split,
+            "discrepancies_found": self.discrepancies_found,
+            "elapsed_s": round(self.elapsed_s(), 6),
+        }
+
+    def outcome(self) -> dict:
+        """Budget outcome record for bench results and reports.
+
+        ``exhausted`` is ``None`` for a run that finished within budget,
+        else the resource name that tripped.
+        """
+        record = self.progress()
+        record["budget"] = self.budget.describe()
+        record["exhausted"] = self.exhausted
+        record["cancelled"] = self._cancelled
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"<GuardContext {self.budget.describe()};"
+            f" nodes={self.nodes_expanded} splits={self.edges_split}"
+            f" discrepancies={self.discrepancies_found}>"
+        )

@@ -1,0 +1,76 @@
+"""Deterministic fault injection for guarded sites.
+
+A :class:`FaultInjector` lets tests force a failure at a *named site*
+inside a guarded algorithm — e.g. in the middle of shaping's queue loop —
+to prove that every guarded site unwinds cleanly (no partially-mutated
+FDD escapes, inputs stay byte-identical).  Production code never arms an
+injector; the hook costs one ``None`` check per checkpoint when unused.
+
+Sites are plain strings chosen by the guarded code (see
+``docs/robustness.md`` for the catalogue).  Arming supports a countdown,
+so a fault can fire on the *k*-th visit to a site rather than the first —
+that is what places the failure mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import FaultInjectedError
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Maps site names to armed faults; fired by guard checkpoints.
+
+    >>> injector = FaultInjector()
+    >>> injector.arm("construction.rule", after=2)
+    >>> injector.fire("construction.rule")  # visit 1: no fault
+    >>> injector.fire("construction.rule")  # visit 2: no fault
+    >>> injector.fire("construction.rule")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.FaultInjectedError: injected fault at construction.rule
+    """
+
+    __slots__ = ("_armed", "visits", "fired")
+
+    def __init__(self) -> None:
+        #: site -> [remaining visits before firing, exception factory].
+        self._armed: dict[str, list] = {}
+        #: site -> total number of checkpoint visits observed (all sites).
+        self.visits: dict[str, int] = {}
+        #: Sites whose armed fault has fired, in firing order.
+        self.fired: list[str] = []
+
+    def arm(
+        self,
+        site: str,
+        *,
+        after: int = 0,
+        exception: Callable[[str], BaseException] | None = None,
+    ) -> None:
+        """Arm ``site`` to raise on its ``after + 1``-th visit.
+
+        ``exception`` is a factory taking the site name; it defaults to
+        :class:`~repro.exceptions.FaultInjectedError`.
+        """
+        self._armed[site] = [after, exception or FaultInjectedError]
+
+    def disarm(self, site: str) -> None:
+        """Remove any fault armed at ``site``."""
+        self._armed.pop(site, None)
+
+    def fire(self, site: str) -> None:
+        """Record a visit to ``site``; raise if an armed fault is due."""
+        self.visits[site] = self.visits.get(site, 0) + 1
+        armed = self._armed.get(site)
+        if armed is None:
+            return
+        if armed[0] > 0:
+            armed[0] -= 1
+            return
+        del self._armed[site]
+        self.fired.append(site)
+        raise armed[1](site)

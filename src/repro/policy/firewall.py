@@ -15,7 +15,12 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
-from repro.exceptions import NotComprehensiveError, PolicyError, SchemaError
+from repro.exceptions import (
+    BudgetExceededError,
+    NotComprehensiveError,
+    PolicyError,
+    SchemaError,
+)
 from repro.fields import FieldSchema, Packet
 from repro.intervals import IntervalSet
 from repro.policy.decision import Decision
@@ -23,6 +28,11 @@ from repro.policy.predicate import Predicate
 from repro.policy.rule import Rule
 
 __all__ = ["Firewall"]
+
+#: Cap on disjoint uncovered regions tracked by the symbolic
+#: comprehensiveness check before it gives up with a
+#: :class:`~repro.exceptions.BudgetExceededError`.
+_REGION_BUDGET = 100_000
 
 
 class Firewall:
@@ -147,15 +157,17 @@ class Firewall:
         *uncovered* region as a list of disjoint per-field interval-set
         products and subtracts each rule's predicate.  The region count is
         capped; policies without a catch-all that fragment the space past
-        the cap raise :class:`~repro.exceptions.PolicyError` rather than
-        returning a wrong answer (the fix — append a catch-all — is the
-        paper's own convention anyway).
+        the cap raise :class:`~repro.exceptions.BudgetExceededError`
+        (``resource="uncovered-regions"``, with a progress witness saying
+        how many rules were subtracted) rather than returning a wrong
+        answer — the fix, appending a catch-all, is the paper's own
+        convention anyway.
         """
         if any(rule.predicate.is_match_all() for rule in self._rules):
             return None
         universe = tuple(f.domain_set for f in self._schema)
         uncovered: list[tuple[IntervalSet, ...]] = [universe]
-        for rule in self._rules:
+        for rule_index, rule in enumerate(self._rules):
             if not uncovered:
                 return None
             pred = rule.predicate.sets
@@ -178,11 +190,18 @@ class Firewall:
                         next_uncovered.append(piece)
                     remainder[i] = overlap[i]
             uncovered = next_uncovered
-            if len(uncovered) > 100_000:
-                raise PolicyError(
+            if len(uncovered) > _REGION_BUDGET:
+                raise BudgetExceededError(
                     "comprehensiveness check exceeded its region budget on a"
                     " policy without a catch-all rule; append a final rule"
-                    " with predicate 'any' (the paper's convention)"
+                    " with predicate 'any' (the paper's convention)",
+                    resource="uncovered-regions",
+                    spent=len(uncovered),
+                    limit=_REGION_BUDGET,
+                    progress={
+                        "rules_processed": rule_index + 1,
+                        "rules_total": len(self._rules),
+                    },
                 )
         if not uncovered:
             return None

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import shlex
 
-from repro.addr import ip_to_int, parse_prefix
+from repro.addr import ascii_digits, ip_to_int, parse_prefix
 from repro.exceptions import ParseError
 from repro.fields import FieldSchema, standard_schema
 from repro.intervals import Interval, IntervalSet
@@ -44,7 +44,7 @@ def _interval_set_from_port_token(token: str, line: int) -> IntervalSet:
             return IntervalSet.span(int(lo_text), int(hi_text))
         except ValueError:
             raise ParseError(f"bad port range {token!r}", line) from None
-    if not token.isdigit():
+    if not ascii_digits(token):
         raise ParseError(f"bad port {token!r}", line)
     return IntervalSet.single(int(token))
 
@@ -240,9 +240,9 @@ def _parse_cisco_statement(
     log = False
     proto_text = take().lower()
     sets: dict[str, IntervalSet] = {}
-    if proto_text not in _PROTO_NUMBERS and not proto_text.isdigit():
+    if proto_text not in _PROTO_NUMBERS and not ascii_digits(proto_text):
         raise ParseError(f"unsupported protocol {proto_text!r}", line)
-    if proto_text.isdigit():
+    if ascii_digits(proto_text):
         sets["protocol"] = IntervalSet.single(int(proto_text))
     elif _PROTO_NUMBERS[proto_text] is not None:
         sets["protocol"] = IntervalSet.single(_PROTO_NUMBERS[proto_text])

@@ -87,6 +87,11 @@ def parse_rule(text: str, schema: FieldSchema, line: int | None = None) -> Rule:
             sets[index] = schema[index].parse_value_set(atoms)
         except ReproError as exc:
             raise ParseError(str(exc), line) from None
+        except ValueError as exc:
+            # Belt and braces: a field parser that lets a raw ValueError
+            # escape (rather than an AddressError) must still surface as a
+            # ParseError naming the offending line.
+            raise ParseError(f"bad value set {value_text!r}: {exc}", line) from None
     full_sets = tuple(
         values if values is not None else field.domain_set
         for values, field in zip(sets, schema)

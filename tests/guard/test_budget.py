@@ -1,0 +1,172 @@
+"""Unit tests for :class:`Budget` and :class:`GuardContext`."""
+
+import time
+
+import pytest
+
+from repro.exceptions import (
+    BudgetExceededError,
+    CancelledError,
+    GuardError,
+    ReproError,
+)
+from repro.guard import Budget, GuardContext
+
+
+class TestBudget:
+    def test_unlimited_has_no_limits(self):
+        budget = Budget.unlimited()
+        assert not budget.bounded()
+        assert budget.describe() == "unlimited"
+
+    def test_bounded_when_any_limit_set(self):
+        assert Budget(deadline_s=1.0).bounded()
+        assert Budget(max_nodes=10).bounded()
+        assert Budget(max_splits=10).bounded()
+        assert Budget(max_discrepancies=10).bounded()
+
+    def test_describe_lists_set_limits(self):
+        text = Budget(deadline_s=2.0, max_nodes=100_000).describe()
+        assert "deadline=2.0s" in text and "max_nodes=100000" in text
+        assert "max_splits" not in text
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_s": -1.0},
+            {"max_nodes": -1},
+            {"max_splits": -5},
+            {"max_discrepancies": -2},
+        ],
+    )
+    def test_negative_limits_rejected(self, kwargs):
+        with pytest.raises(GuardError):
+            Budget(**kwargs)
+
+    def test_immutable(self):
+        budget = Budget(max_nodes=10)
+        with pytest.raises(Exception):
+            budget.max_nodes = 20
+
+    def test_zero_limits_are_legal(self):
+        # A zero budget is a valid way to say "trip on the first tick".
+        guard = GuardContext(Budget(max_nodes=0))
+        with pytest.raises(BudgetExceededError):
+            guard.tick_nodes()
+
+
+class TestGuardContextCounters:
+    def test_node_budget_trips_with_attributes(self):
+        guard = GuardContext(Budget(max_nodes=10))
+        for _ in range(10):
+            guard.tick_nodes()
+        with pytest.raises(BudgetExceededError) as info:
+            guard.tick_nodes()
+        exc = info.value
+        assert exc.resource == "fdd-nodes"
+        assert exc.spent == 11
+        assert exc.limit == 10
+        assert exc.progress["nodes_expanded"] == 11
+        assert guard.exhausted == "fdd-nodes"
+
+    def test_split_budget_trips(self):
+        guard = GuardContext(Budget(max_splits=3))
+        guard.tick_splits(3)
+        with pytest.raises(BudgetExceededError) as info:
+            guard.tick_splits()
+        assert info.value.resource == "edges-split"
+
+    def test_discrepancy_budget_trips(self):
+        guard = GuardContext(Budget(max_discrepancies=2))
+        guard.tick_discrepancies(2)
+        with pytest.raises(BudgetExceededError) as info:
+            guard.tick_discrepancies()
+        assert info.value.resource == "discrepancies"
+
+    def test_bulk_ticks_count_correctly(self):
+        guard = GuardContext(Budget(max_nodes=100))
+        guard.tick_nodes(60)
+        guard.tick_nodes(40)
+        assert guard.nodes_expanded == 100
+        with pytest.raises(BudgetExceededError):
+            guard.tick_nodes(1)
+
+    def test_unlimited_guard_only_counts(self):
+        guard = GuardContext()
+        guard.tick_nodes(10_000)
+        guard.tick_splits(10_000)
+        guard.tick_discrepancies(10_000)
+        assert guard.exhausted is None
+
+    def test_budget_exceeded_is_repro_error(self):
+        # CLI and callers catching the library's root type must see trips.
+        assert issubclass(BudgetExceededError, ReproError)
+        assert issubclass(CancelledError, ReproError)
+
+
+class TestDeadlineAndCancellation:
+    def test_deadline_trips_at_checkpoint(self):
+        guard = GuardContext(Budget(deadline_s=0.0))
+        time.sleep(0.01)
+        with pytest.raises(BudgetExceededError) as info:
+            guard.checkpoint("test.site")
+        assert info.value.resource == "deadline"
+        assert info.value.limit == 0.0
+
+    def test_deadline_trips_amortized_in_hot_loop(self):
+        guard = GuardContext(Budget(deadline_s=0.0), check_every=8)
+        time.sleep(0.01)
+        with pytest.raises(BudgetExceededError) as info:
+            for _ in range(64):
+                guard.tick_nodes()
+        assert info.value.resource == "deadline"
+        # The amortization window bounds how late the deadline fires.
+        assert guard.nodes_expanded <= 8
+
+    def test_cancel_raises_at_checkpoint_with_site(self):
+        guard = GuardContext()
+        guard.cancel()
+        assert guard.cancelled
+        with pytest.raises(CancelledError) as info:
+            guard.checkpoint("construction.rule")
+        assert "construction.rule" in str(info.value)
+
+    def test_cancel_raises_in_hot_loop(self):
+        guard = GuardContext(check_every=4)
+        guard.cancel()
+        with pytest.raises(CancelledError):
+            for _ in range(16):
+                guard.tick_nodes()
+
+    def test_clock_accessors(self):
+        guard = GuardContext(Budget(deadline_s=60.0))
+        assert guard.elapsed_s() >= 0.0
+        assert 0.0 < guard.remaining_s() <= 60.0
+        assert GuardContext().remaining_s() is None
+
+
+class TestReporting:
+    def test_progress_witness(self):
+        guard = GuardContext()
+        guard.tick_nodes(5)
+        guard.tick_splits(3)
+        guard.tick_discrepancies(2)
+        progress = guard.progress()
+        assert progress["nodes_expanded"] == 5
+        assert progress["edges_split"] == 3
+        assert progress["discrepancies_found"] == 2
+        assert progress["elapsed_s"] >= 0.0
+
+    def test_outcome_within_budget(self):
+        guard = GuardContext(Budget(max_nodes=100))
+        guard.tick_nodes(10)
+        outcome = guard.outcome()
+        assert outcome["exhausted"] is None
+        assert outcome["cancelled"] is False
+        assert outcome["budget"] == "max_nodes=100"
+
+    def test_outcome_after_trip(self):
+        guard = GuardContext(Budget(max_nodes=1))
+        with pytest.raises(BudgetExceededError):
+            guard.tick_nodes(2)
+        assert guard.outcome()["exhausted"] == "fdd-nodes"
