@@ -15,12 +15,15 @@ completes in tens of seconds (Python) vs the paper's seconds (Java).
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 from conftest import bench_rounds
 
 from repro.bench import (
     banner,
     bench_scale,
     fig13_experiment,
+    fig13_parallel_experiment,
     render_series,
     render_table,
     timed_fast_comparison,
@@ -54,9 +57,17 @@ def _rows_to_table(rows) -> str:
     )
 
 
-def test_bench_fig13_fast_engine(benchmark, report_saver):
+def test_bench_fig13_fast_engine(benchmark, report_saver, json_saver):
     """The full Fig. 13 size range on the scalable engine."""
     rows = fig13_experiment(engine="fast", seed=13)
+    json_saver(
+        "fig13_fast",
+        [
+            {"key": f"fast-n{row.rules_per_firewall}", **asdict(row)}
+            for row in rows
+        ],
+        meta={"seed": 13},
+    )
     report = "\n".join(
         [
             banner(
@@ -81,6 +92,70 @@ def test_bench_fig13_fast_engine(benchmark, report_saver):
     )
     totals = [row.total_ms for row in rows]
     assert totals == sorted(totals) or max(totals) > 0  # monotone-ish growth
+
+
+def test_bench_fig13_parallel_engine(benchmark, report_saver, json_saver):
+    """Serial vs sharded engine on the Fig. 13 workload.
+
+    Writes the committed trajectory anchor ``BENCH_fig13.json``.  The
+    honest headline on a single-CPU runner is the *critical-path*
+    speedup (available parallelism); the wall-clock ratio only reflects
+    it when the machine has idle cores — both are recorded, along with
+    the CPU count, so the numbers are interpretable anywhere.
+    """
+    jobs = 4
+    rows = fig13_parallel_experiment(seed=13, jobs=jobs)
+    assert all(row.parity for row in rows), "parallel/serial disputed counts differ"
+    json_saver(
+        "fig13_parallel",
+        [
+            {"key": f"parallel-n{row.rules_per_firewall}-j{row.jobs}", **asdict(row)}
+            for row in rows
+        ],
+        meta={"seed": 13, "engine": "repro.parallel vs repro.fdd.fast"},
+        anchor="fig13",
+    )
+    report = "\n".join(
+        [
+            banner(
+                "Fig. 13 workload, serial vs sharded parallel engine",
+                f"jobs={jobs}; same pairs/seed as the fast-engine series",
+            ),
+            render_table(
+                [
+                    "rules/firewall",
+                    "shards",
+                    "serial (ms)",
+                    "parallel wall (ms)",
+                    "wall speedup",
+                    "critical-path speedup",
+                    "parity",
+                ],
+                [
+                    (
+                        row.rules_per_firewall,
+                        row.shards,
+                        row.serial_ms,
+                        row.parallel_wall_ms,
+                        row.speedup,
+                        row.critical_path_speedup,
+                        row.parity,
+                    )
+                    for row in rows
+                ],
+            ),
+        ]
+    )
+    report_saver("fig13_parallel", report)
+    from repro.parallel import compare_parallel
+
+    size = 200 if bench_scale() == "paper" else 100
+    fw_a, fw_b = generate_firewall_pair(size, seed=13)
+    benchmark.pedantic(
+        lambda: compare_parallel(fw_a, fw_b, jobs=jobs),
+        rounds=bench_rounds(3),
+        iterations=1,
+    )
 
 
 def test_bench_fig13_reference_small(benchmark, report_saver):

@@ -8,12 +8,13 @@ before they distort the figure-level benchmarks.
 from __future__ import annotations
 
 import random
+import time
 
 from repro.fdd import construct_fdd, generate_firewall, reduce_fdd
-from repro.fdd.fast import construct_fdd_fast
+from repro.fdd.fast import HashConsStore, compare_fast, construct_fdd_fast
 from repro.fields import PacketSampler
 from repro.intervals import IntervalSet
-from repro.synth import SyntheticFirewallGenerator, average_42
+from repro.synth import SyntheticFirewallGenerator, average_42, generate_firewall_pair
 
 
 def _random_sets(count: int, seed: int) -> list[IntervalSet]:
@@ -67,3 +68,79 @@ def test_bench_generate_compact_firewall(benchmark):
     firewall = average_42()
     fdd = reduce_fdd(construct_fdd(firewall))
     benchmark(lambda: generate_firewall(fdd, reduce=False, compact=False))
+
+
+def _best_ms(work, *, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        work()
+        best = min(best, (time.perf_counter() - start) * 1000.0)
+    return best
+
+
+def test_bench_interval_kernel(benchmark, json_saver):
+    """The interned kernel vs direct interval algebra, plus the merge
+    sweeps — writes the committed trajectory anchor ``BENCH_micro.json``.
+
+    The kernel workload replays the label-algebra mix the FDD engine
+    issues (intersect/union/subtract over a recurring label population —
+    exactly the regime the id-keyed memo exists for); the direct variant
+    runs the same calls through the raw :class:`IntervalSet` methods.
+    """
+    sets = _random_sets(120, seed=7)
+    pairs = [
+        (sets[i], sets[(i * 7 + 3) % len(sets)]) for i in range(len(sets))
+    ] * 40
+
+    def direct():
+        for a, b in pairs:
+            a.intersect(b)
+            a.union(b)
+            a.subtract(b)
+
+    def interned():
+        store = HashConsStore()
+        for a, b in pairs:
+            store.intersect(a, b)
+            store.union(a, b)
+            store.subtract(a, b)
+
+    direct_ms = _best_ms(direct)
+    interned_ms = _best_ms(interned)
+
+    # union's linear merge sweep and from_values' run-length merge.
+    union_ops = [(sets[i], sets[-1 - i]) for i in range(len(sets) // 2)] * 20
+    union_ms = _best_ms(lambda: [a.union(b) for a, b in union_ops])
+    rng = random.Random(11)
+    values = [rng.randrange(0, 1 << 18) for _ in range(1 << 16)]
+    from_values_ms = _best_ms(lambda: IntervalSet.from_values(values))
+
+    # Engine-level effect: one full fast comparison (shared interned store).
+    size = 500
+    fw_a, fw_b = generate_firewall_pair(size, seed=13)
+    disputed = compare_fast(fw_a, fw_b).disputed_packet_count()
+    compare_ms = _best_ms(lambda: compare_fast(fw_a, fw_b), rounds=2)
+
+    json_saver(
+        "micro_kernel",
+        [
+            {"key": "kernel-algebra-direct", "total_ms": direct_ms},
+            {
+                "key": "kernel-algebra-interned",
+                "total_ms": interned_ms,
+                "speedup_vs_direct": direct_ms / interned_ms if interned_ms else 0.0,
+            },
+            {"key": "intervalset-union-merge", "total_ms": union_ms},
+            {"key": "intervalset-from-values-64k", "total_ms": from_values_ms},
+            {
+                "key": f"compare-fast-n{size}",
+                "total_ms": compare_ms,
+                "disputed_packets": disputed,
+            },
+        ],
+        meta={"pairs": len(pairs), "seed": 7},
+        anchor="micro",
+    )
+    assert interned_ms < direct_ms * 1.5  # the memo must not cost more than it saves
+    benchmark(interned)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Gate on a perf-trajectory comparison: baseline JSON vs current JSON.
+
+Usage::
+
+    python benchmarks/check_regress.py BASELINE.json CURRENT.json \
+        [--threshold 0.25] [--min-ms 1.0] [--exact disputed_packets]
+
+Compares two trajectory documents written by the benchmark harness (see
+:mod:`repro.bench.trajectory`): rows are matched by ``key``; timing
+metrics (``*_ms``/``*_us``/``*_s``) in the current run may be at most
+``threshold`` slower than the baseline; fields named with ``--exact``
+must match exactly (use it for counts that prove the math didn't drift,
+e.g. ``disputed_packets``).  Exit status: 0 clean, 1 regressions found,
+2 usage/IO error.
+
+CI runs this against the committed ``BENCH_micro.json`` /
+``BENCH_fig13.json`` anchors with a generous threshold (runner timing is
+noisy); refresh the anchors by re-running the benchmarks at paper scale
+on a quiet machine and committing the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.trajectory import compare_trajectories, load_trajectory
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="trajectory JSON of the reference run")
+    parser.add_argument("current", help="trajectory JSON of the run under test")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed slowdown fraction (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=1.0,
+        help="ignore timings where both sides are under this many ms",
+    )
+    parser.add_argument(
+        "--exact",
+        action="append",
+        default=[],
+        metavar="FIELD",
+        help="row field that must match exactly (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_trajectory(args.baseline)
+        current = load_trajectory(args.current)
+    except (OSError, ValueError) as error:
+        print(f"check_regress: {error}", file=sys.stderr)
+        return 2
+
+    if baseline.get("machine") != current.get("machine"):
+        print(
+            "check_regress: note: machine fingerprints differ"
+            f" ({baseline.get('machine')} vs {current.get('machine')});"
+            " timings are only roughly comparable"
+        )
+
+    regressions = compare_trajectories(
+        baseline,
+        current,
+        threshold=args.threshold,
+        min_ms=args.min_ms,
+        exact=tuple(args.exact),
+    )
+    compared = len(baseline.get("rows", []))
+    if not regressions:
+        print(
+            f"check_regress: OK — {compared} baseline rows within"
+            f" {args.threshold:.0%} of {Path(args.baseline).name}"
+        )
+        return 0
+    print(
+        f"check_regress: {len(regressions)} regression(s) vs"
+        f" {Path(args.baseline).name} (threshold {args.threshold:.0%}):"
+    )
+    for regression in regressions:
+        print(f"  - {regression.describe()}")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ from pathlib import Path
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 _SESSION_REPORTS: list[tuple[str, str]] = []
 
@@ -27,10 +28,35 @@ def save_report(name: str, text: str) -> Path:
     return path
 
 
+def save_json(name: str, rows: list[dict], *, meta: dict | None = None,
+              anchor: str | None = None) -> Path:
+    """Persist a benchmark's machine-readable twin (see
+    :mod:`repro.bench.trajectory`).
+
+    Writes ``benchmarks/results/<name>.json`` always; when ``anchor`` is
+    given, additionally writes the repo-root trajectory anchor
+    (``BENCH_<anchor>.json``) that gets committed — but only at paper
+    scale, so a quick smoke run cannot clobber the committed numbers.
+    """
+    from repro.bench.trajectory import write_trajectory
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = write_trajectory(RESULTS_DIR / f"{name}.json", name, rows, meta=meta)
+    if anchor and os.environ.get("REPRO_BENCH_SCALE", "paper") == "paper":
+        write_trajectory(REPO_ROOT / f"BENCH_{anchor}.json", name, rows, meta=meta)
+    return path
+
+
 @pytest.fixture(scope="session")
 def report_saver():
     """Fixture handing benchmarks the :func:`save_report` helper."""
     return save_report
+
+
+@pytest.fixture(scope="session")
+def json_saver():
+    """Fixture handing benchmarks the :func:`save_json` helper."""
+    return save_json
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

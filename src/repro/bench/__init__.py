@@ -4,14 +4,24 @@ from repro.bench.harness import (
     EffectivenessResult,
     Fig12Row,
     Fig13Row,
+    Fig13ParallelRow,
     GuardOverheadRow,
     bench_scale,
     effectiveness_experiment,
     fig12_experiment,
     fig13_experiment,
+    fig13_parallel_experiment,
     guard_overhead_experiment,
 )
 from repro.bench.reporting import banner, render_series, render_table
+from repro.bench.trajectory import (
+    Regression,
+    compare_trajectories,
+    load_trajectory,
+    machine_fingerprint,
+    trajectory_payload,
+    write_trajectory,
+)
 from repro.bench.timing import (
     FastTimings,
     PhaseTimings,
@@ -24,16 +34,24 @@ __all__ = [
     "FastTimings",
     "Fig12Row",
     "Fig13Row",
+    "Fig13ParallelRow",
     "GuardOverheadRow",
     "PhaseTimings",
+    "Regression",
     "banner",
     "bench_scale",
+    "compare_trajectories",
     "effectiveness_experiment",
     "fig12_experiment",
     "fig13_experiment",
+    "fig13_parallel_experiment",
     "guard_overhead_experiment",
+    "load_trajectory",
+    "machine_fingerprint",
     "render_series",
     "render_table",
     "timed_comparison",
     "timed_fast_comparison",
+    "trajectory_payload",
+    "write_trajectory",
 ]

@@ -36,6 +36,8 @@ __all__ = [
     "fig12_experiment",
     "Fig13Row",
     "fig13_experiment",
+    "Fig13ParallelRow",
+    "fig13_parallel_experiment",
     "EffectivenessResult",
     "effectiveness_experiment",
     "GuardOverheadRow",
@@ -189,6 +191,95 @@ def fig13_experiment(
                     difference_paths=fast.difference_paths,
                 )
             )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 13, sharded — serial vs parallel engine on the same pairs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig13ParallelRow:
+    """One size point of the serial-vs-sharded comparison.
+
+    ``speedup`` is the observed wall-clock ratio (serial / parallel) —
+    on a single-CPU machine this is expectedly <= 1 because the shards
+    serialize; ``critical_path_speedup`` is the machine-independent
+    available parallelism: the sum of per-shard work divided by the
+    slowest shard, i.e. the speedup a machine with >= ``shards`` idle
+    cores would approach.  ``parity`` certifies the merged disputed
+    count matched the serial engine's.
+    """
+
+    rules_per_firewall: int
+    jobs: int
+    shards: int
+    serial_ms: float
+    parallel_wall_ms: float
+    shard_ms_sum: float
+    shard_ms_max: float
+    speedup: float
+    critical_path_speedup: float
+    disputed_packets: int
+    parity: bool
+
+
+def fig13_parallel_experiment(
+    *,
+    sizes: tuple[int, ...] | None = None,
+    seed: int = 13,
+    jobs: int = 4,
+    config: GeneratorConfig | None = None,
+    inline: bool | None = None,
+    start_method: str | None = None,
+) -> list[Fig13ParallelRow]:
+    """Fig. 13's workload through the sharded engine vs the serial one.
+
+    Generates the same independent pairs as :func:`fig13_experiment`,
+    runs each through :func:`repro.fdd.fast.compare_fast` and
+    :func:`repro.parallel.compare_parallel` with ``jobs`` workers, and
+    reports both the observed wall-clock ratio and the critical-path
+    parallelism (see :class:`Fig13ParallelRow` — the two diverge on
+    machines with fewer idle cores than shards).
+    """
+    from repro.fdd.fast import compare_fast
+    from repro.parallel import compare_parallel
+
+    if sizes is None:
+        sizes = (200, 500, 1000) if bench_scale() == "paper" else (100, 300)
+    rows: list[Fig13ParallelRow] = []
+    for size in sizes:
+        fw_a, fw_b = generate_firewall_pair(size, seed=seed, config=config)
+        start = time.perf_counter()
+        serial = compare_fast(fw_a, fw_b)
+        serial_ms = (time.perf_counter() - start) * 1000.0
+        serial_disputed = serial.disputed_packet_count()
+
+        start = time.perf_counter()
+        par = compare_parallel(
+            fw_a, fw_b, jobs=jobs, inline=inline, start_method=start_method
+        )
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        shard_ms = [shard.elapsed_ms for shard in par.shards]
+        shard_max = max(shard_ms) if shard_ms else 0.0
+        rows.append(
+            Fig13ParallelRow(
+                rules_per_firewall=size,
+                jobs=jobs,
+                shards=len(par.shards),
+                serial_ms=serial_ms,
+                parallel_wall_ms=wall_ms,
+                shard_ms_sum=sum(shard_ms),
+                shard_ms_max=shard_max,
+                speedup=serial_ms / wall_ms if wall_ms else 0.0,
+                critical_path_speedup=(
+                    sum(shard_ms) / shard_max if shard_max else 1.0
+                ),
+                disputed_packets=par.disputed_packets,
+                parity=par.disputed_packets == serial_disputed,
+            )
+        )
     return rows
 
 

@@ -101,6 +101,48 @@ def _add_guard_options(sub, *, fallback: bool = True) -> None:
         )
 
 
+def _add_jobs_option(sub) -> None:
+    """``--jobs N``: shard the comparison across worker processes."""
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "shard the comparison across N worker processes"
+            " (sharded fast engine; 1 = serial reference pipeline)"
+        ),
+    )
+
+
+def _parallel_discrepancies(fw_a, fw_b, args, budget):
+    """The sharded engine behind ``--jobs``, with the fallback interplay.
+
+    Returns ``(discrepancies, approximate, coverage)``.  A budget trip
+    either propagates (exit code 3 via the central handler) or — under
+    ``--approx-fallback`` — degrades to the sampling comparator exactly
+    as the serial path does.
+    """
+    from repro.parallel import compare_parallel
+
+    try:
+        par = compare_parallel(
+            fw_a,
+            fw_b,
+            jobs=args.jobs,
+            budget=budget,
+            enumerate_discrepancies=True,
+        )
+    except BudgetExceededError:
+        if not getattr(args, "approx_fallback", False):
+            raise
+        from repro.analysis.approximate import approximate_compare
+
+        report = approximate_compare(fw_a, fw_b)
+        return list(report.discrepancies), True, report.coverage
+    return list(par.discrepancies), False, 1.0
+
+
 def _budget_from_args(args) -> Budget | None:
     """A :class:`Budget` from ``--deadline``/``--max-nodes``, or ``None``."""
     if args.deadline is None and args.max_nodes is None:
@@ -125,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--raw", action="store_true", help="print raw cells (skip aggregation)"
     )
     _add_guard_options(compare)
+    _add_jobs_option(compare)
 
     impact = sub.add_parser(
         "impact", help="change impact analysis: before vs after"
@@ -139,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     equivalent.add_argument("policy_a")
     equivalent.add_argument("policy_b")
     _add_guard_options(equivalent)
+    _add_jobs_option(equivalent)
 
     query = sub.add_parser("query", help="answer a query against a policy")
     query.add_argument("policy")
@@ -207,7 +251,11 @@ def _cmd_compare(args) -> int:
     budget = _budget_from_args(args)
     approximate = False
     coverage = 1.0
-    if args.approx_fallback:
+    if args.jobs > 1:
+        discs, approximate, coverage = _parallel_discrepancies(
+            fw_a, fw_b, args, budget
+        )
+    elif args.approx_fallback:
         report = compare_with_fallback(fw_a, fw_b, budget=budget)
         discs = list(report.discrepancies)
         approximate = report.approximate
@@ -253,7 +301,24 @@ def _cmd_equivalent(args) -> int:
     fw_a = load(args.policy_a)
     fw_b = load(args.policy_b)
     budget = _budget_from_args(args)
-    if args.approx_fallback:
+    if args.jobs > 1:
+        discs, approximate, coverage = _parallel_discrepancies(
+            fw_a, fw_b, args, budget
+        )
+        if approximate:
+            if discs:
+                print(
+                    f"NOT equivalent: {len(discs)} witness"
+                    " packet(s) found by sampling"
+                )
+                return EXIT_DISCREPANCIES
+            print(
+                "no disagreement found by sampling"
+                f" (approximate; coverage ~{coverage:.2e});"
+                " equivalence NOT proven"
+            )
+            return EXIT_APPROXIMATE
+    elif args.approx_fallback:
         report = compare_with_fallback(fw_a, fw_b, budget=budget)
         if report.approximate:
             if report.discrepancies:

@@ -53,6 +53,9 @@ class NotComprehensiveError(PolicyError):
         #: A packet tuple matched by no rule, or ``None`` if not computed.
         self.witness = witness
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.witness))
+
 
 class FDDError(ReproError):
     """An FDD violated one of its defining properties (Section 2).
@@ -83,11 +86,15 @@ class ParseError(ReproError):
     """
 
     def __init__(self, message: str, line: int | None = None):
+        self._raw_message = message
         if line is not None:
             message = f"line {line}: {message}"
         super().__init__(message)
         #: One-based line number of the offending input line, if known.
         self.line = line
+
+    def __reduce__(self):
+        return (type(self), (self._raw_message, self.line))
 
 
 class BDDError(ReproError):
@@ -156,6 +163,15 @@ class BudgetExceededError(GuardError):
         #: Optional progress witness (counts of completed work units).
         self.progress = dict(progress) if progress else {}
 
+    def __reduce__(self):
+        # Keyword-only constructor args defeat the default exception
+        # pickling; budget errors must survive a worker->parent hop in
+        # the sharded parallel engine (repro.parallel).
+        return (
+            _rebuild_budget_error,
+            (type(self), self.args[0], self.resource, self.spent, self.limit, self.progress),
+        )
+
 
 class CancelledError(GuardError):
     """A guarded computation observed its cancellation token.
@@ -165,11 +181,15 @@ class CancelledError(GuardError):
     """
 
     def __init__(self, message: str = "operation cancelled", *, site: str | None = None):
+        self._raw_message = message
         if site is not None:
             message = f"{message} (at {site})"
         super().__init__(message)
         #: The guard checkpoint site that observed the cancellation, if known.
         self.site = site
+
+    def __reduce__(self):
+        return (_rebuild_cancelled_error, (type(self), self._raw_message, self.site))
 
 
 class FaultInjectedError(GuardError):
@@ -183,3 +203,18 @@ class FaultInjectedError(GuardError):
         super().__init__(f"injected fault at {site}")
         #: The guard checkpoint site the fault fired at.
         self.site = site
+
+    def __reduce__(self):
+        return (type(self), (self.site,))
+
+
+def _rebuild_budget_error(cls, message, resource, spent, limit, progress):
+    """Unpickle helper for :class:`BudgetExceededError` subclass trees."""
+    return cls(
+        message, resource=resource, spent=spent, limit=limit, progress=progress
+    )
+
+
+def _rebuild_cancelled_error(cls, message, site):
+    """Unpickle helper for :class:`CancelledError`."""
+    return cls(message, site=site)

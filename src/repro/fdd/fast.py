@@ -30,6 +30,7 @@ reference is feasible and the fast engine beyond.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.analysis.discrepancy import Discrepancy
@@ -52,8 +53,17 @@ __all__ = [
 ]
 
 
+#: Default bound on the pairwise interval-operation memo (LRU entries).
+#: Keys are ``(op, id, id)`` triples over *interned* sets, so each entry
+#: is three machine words plus the interned result reference.
+PAIRWISE_MEMO_LIMIT = 1 << 16
+
+#: Op tags for the pairwise memo keys (smaller than strings to hash).
+_OP_AND, _OP_SUB, _OP_OR = 1, 2, 3
+
+
 class HashConsStore:
-    """Interns FDD nodes by structural signature.
+    """Interns FDD nodes — and their interval-set labels — by structure.
 
     Terminals intern by decision; internal nodes by
     ``(field, ((label, id(child)), ...))`` with the edge list sorted by
@@ -61,11 +71,90 @@ class HashConsStore:
     subgraphs always resolve to the *same object*, making structural
     equality an ``id`` comparison — the property the memoized algorithms
     rely on.
+
+    :class:`~repro.intervals.IntervalSet` labels get the same treatment
+    (:meth:`intern_set`): equal labels resolve to one pointer-stable
+    instance, which makes an LRU-bounded pairwise memo over
+    :meth:`intersect` / :meth:`subtract` / :meth:`union` sound — keys are
+    ``id`` pairs, and interned instances are kept alive by the store, so
+    an id can never be silently reused while the store exists.  The same
+    few label pairs are intersected over and over during construction and
+    the product walk (every shared subtree replays its edge algebra), so
+    the memo converts the interval sweeps of the hot loop into dict hits.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, memo_limit: int = PAIRWISE_MEMO_LIMIT) -> None:
         self._terminals: dict[Decision, TerminalNode] = {}
         self._internals: dict[tuple, InternalNode] = {}
+        #: set -> the canonical (interned) instance for that value content.
+        self._sets: dict[IntervalSet, IntervalSet] = {}
+        #: (op, id(a), id(b)) -> interned result, LRU-bounded.
+        self._op_memo: OrderedDict[tuple[int, int, int], IntervalSet] = (
+            OrderedDict()
+        )
+        self._memo_limit = max(1, memo_limit)
+
+    # ------------------------------------------------------------------
+    # Interval kernel: interning + memoized pairwise algebra
+    # ------------------------------------------------------------------
+    def intern_set(self, values: IntervalSet) -> IntervalSet:
+        """The canonical instance holding ``values``'s value content.
+
+        Identical labels become pointer-equal; the returned instance is
+        kept alive by the store, so its ``id`` is a stable memo key.
+        """
+        found = self._sets.get(values)
+        if found is None:
+            self._sets[values] = values
+            return values
+        return found
+
+    def _memo_put(self, key: tuple[int, int, int], result: IntervalSet) -> None:
+        memo = self._op_memo
+        memo[key] = result
+        if len(memo) > self._memo_limit:
+            memo.popitem(last=False)
+
+    def intersect(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
+        """Memoized ``a & b`` over interned operands (commutative key)."""
+        a = self.intern_set(a)
+        b = self.intern_set(b)
+        ia, ib = id(a), id(b)
+        key = (_OP_AND, ia, ib) if ia <= ib else (_OP_AND, ib, ia)
+        found = self._op_memo.get(key)
+        if found is not None:
+            self._op_memo.move_to_end(key)
+            return found
+        result = self.intern_set(a.intersect(b))
+        self._memo_put(key, result)
+        return result
+
+    def subtract(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
+        """Memoized ``a - b`` over interned operands."""
+        a = self.intern_set(a)
+        b = self.intern_set(b)
+        key = (_OP_SUB, id(a), id(b))
+        found = self._op_memo.get(key)
+        if found is not None:
+            self._op_memo.move_to_end(key)
+            return found
+        result = self.intern_set(a.subtract(b))
+        self._memo_put(key, result)
+        return result
+
+    def union(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
+        """Memoized ``a | b`` over interned operands (commutative key)."""
+        a = self.intern_set(a)
+        b = self.intern_set(b)
+        ia, ib = id(a), id(b)
+        key = (_OP_OR, ia, ib) if ia <= ib else (_OP_OR, ib, ia)
+        found = self._op_memo.get(key)
+        if found is not None:
+            self._op_memo.move_to_end(key)
+            return found
+        result = self.intern_set(a.union(b))
+        self._memo_put(key, result)
+        return result
 
     def terminal(self, decision: Decision) -> TerminalNode:
         """The unique terminal node for ``decision``."""
@@ -90,15 +179,15 @@ class HashConsStore:
         for label, child in edges:
             key = id(child)
             if key in merged:
-                merged[key][0] = merged[key][0] | label
+                merged[key][0] = self.union(merged[key][0], label)
             else:
-                merged[key] = [label, child]
+                merged[key] = [self.intern_set(label), child]
                 order.append(key)
         parts = sorted(
             ((merged[key][0], merged[key][1]) for key in order),
             key=lambda item: item[0].min(),
         )
-        signature = (field_index, tuple((label, id(child)) for label, child in parts))
+        signature = (field_index, tuple((id(label), id(child)) for label, child in parts))
         found = self._internals.get(signature)
         if found is None:
             node = InternalNode(field_index)
@@ -146,18 +235,18 @@ def construct_fdd_fast(
         new_edges: list[tuple[IntervalSet, Node]] = []
         covered = IntervalSet.empty()
         for edge in node.edges:
-            common = edge.label & rule_set
-            covered = covered | edge.label
+            common = store.intersect(edge.label, rule_set)
+            covered = store.union(covered, edge.label)
             if common.is_empty():
                 new_edges.append((edge.label, edge.target))
                 continue
-            outside = edge.label - common
+            outside = store.subtract(edge.label, common)
             if not outside.is_empty():
                 new_edges.append((outside, edge.target))
             new_edges.append(
                 (common, append(edge.target, rule_sets, decision, index + 1, memo))
             )
-        uncovered = rule_set - covered
+        uncovered = store.subtract(rule_set, covered)
         if not uncovered.is_empty():
             if index + 1 == num_fields:
                 target: Node = store.terminal(decision)
@@ -169,12 +258,17 @@ def construct_fdd_fast(
         return result
 
     first = firewall.rules[0]
-    root = chain(first.predicate.sets, first.decision, 0)
+    root = chain(
+        tuple(store.intern_set(s) for s in first.predicate.sets),
+        first.decision,
+        0,
+    )
     for rule in firewall.rules[1:]:
         if guard is not None:
             guard.checkpoint("fast.rule")
         memo: dict[int, Node] = {}
-        root = append(root, rule.predicate.sets, rule.decision, 0, memo)
+        rule_sets = tuple(store.intern_set(s) for s in rule.predicate.sets)
+        root = append(root, rule_sets, rule.decision, 0, memo)
     return FDD(schema, root)
 
 
@@ -235,6 +329,49 @@ class DifferenceFDD:
 
         root_level = level_of(self.root)
         return count(self.root) * (suffix[0] // suffix[root_level])
+
+    def disputed_by_decisions(self) -> dict[tuple[Decision, Decision], int]:
+        """Exact disputed-packet volume per ``(decision_a, decision_b)``.
+
+        The values sum to :meth:`disputed_packet_count`.  Because the
+        breakdown is a pure function of the two policies' semantics (not
+        of diagram structure), it merges exactly across the shards of the
+        parallel engine — per-pair volumes just add — which makes it the
+        canonical comparison summary (:mod:`repro.parallel`).
+        """
+        domains = [f.domain_size() for f in self.schema]
+        num_fields = len(domains)
+        suffix = [1] * (num_fields + 1)
+        for i in range(num_fields - 1, -1, -1):
+            suffix[i] = suffix[i + 1] * domains[i]
+        memo: dict[int, dict] = {}
+
+        def level_of(node) -> int:
+            return node.field_index if isinstance(node, _PairNode) else num_fields
+
+        def count(node) -> dict[tuple[Decision, Decision], int]:
+            if not isinstance(node, _PairNode):
+                dec_a, dec_b = node
+                return {(dec_a, dec_b): 1} if dec_a != dec_b else {}
+            found = memo.get(id(node))
+            if found is not None:
+                return found
+            total: dict[tuple[Decision, Decision], int] = {}
+            for label, child in node.edges:
+                partial = count(child)
+                if partial:
+                    gap = suffix[node.field_index + 1] // suffix[level_of(child)]
+                    weight = label.count() * gap
+                    for pair, volume in partial.items():
+                        total[pair] = total.get(pair, 0) + volume * weight
+            memo[id(node)] = total
+            return total
+
+        multiplier = suffix[0] // suffix[level_of(self.root)]
+        return {
+            pair: volume * multiplier
+            for pair, volume in count(self.root).items()
+        }
 
     def discrepancies(
         self, limit: int | None = None, *, guard: GuardContext | None = None
@@ -333,21 +470,34 @@ def compare_fast(
     """
     if fw_a.schema != fw_b.schema:
         raise SchemaError("cannot compare firewalls over different field schemas")
+    store = HashConsStore()
     return build_difference(
-        construct_fdd_fast(fw_a, guard=guard),
-        construct_fdd_fast(fw_b, guard=guard),
+        construct_fdd_fast(fw_a, store, guard=guard),
+        construct_fdd_fast(fw_b, store, guard=guard),
         guard=guard,
+        store=store,
     )
 
 
 def build_difference(
-    fdd_a: FDD, fdd_b: FDD, *, guard: GuardContext | None = None
+    fdd_a: FDD,
+    fdd_b: FDD,
+    *,
+    guard: GuardContext | None = None,
+    store: HashConsStore | None = None,
 ) -> DifferenceFDD:
-    """Product-walk two ordered FDDs into a :class:`DifferenceFDD`."""
+    """Product-walk two ordered FDDs into a :class:`DifferenceFDD`.
+
+    ``store`` supplies the interval kernel (interned labels + memoized
+    pairwise algebra).  Passing the store both FDDs were constructed with
+    maximizes memo hits — their labels are already pointer-stable — but
+    any store (or none: a private one is made) is correct.
+    """
     if fdd_a.schema != fdd_b.schema:
         raise SchemaError("cannot compare FDDs over different field schemas")
     schema = fdd_a.schema
     num_fields = len(schema)
+    kernel = store if store is not None else HashConsStore()
 
     pair_table: dict[tuple, _PairNode] = {}
     memo: dict[tuple[int, int], object] = {}
@@ -358,7 +508,7 @@ def build_difference(
         for label, child in edges:
             key = id(child)
             if key in merged:
-                merged[key][0] = merged[key][0] | label
+                merged[key][0] = kernel.union(merged[key][0], label)
             else:
                 merged[key] = [label, child]
                 order.append(key)
@@ -396,7 +546,7 @@ def build_difference(
                 assert isinstance(na, InternalNode) and isinstance(nb, InternalNode)
                 for edge_a in na.edges:
                     for edge_b in nb.edges:
-                        common = edge_a.label & edge_b.label
+                        common = kernel.intersect(edge_a.label, edge_b.label)
                         if not common.is_empty():
                             edges.append(
                                 (common, product(edge_a.target, edge_b.target))

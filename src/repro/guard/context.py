@@ -126,6 +126,30 @@ class GuardContext:
             return None
         return self._deadline_at - time.monotonic()
 
+    def remaining_budget(self) -> Budget:
+        """The budget left after spend so far, as a fresh :class:`Budget`.
+
+        Used to forward limits to subordinate computations that run under
+        their own context — e.g. the sharded parallel engine hands every
+        worker process the parent's *remaining* deadline and counter
+        headroom, so a shard cannot single-handedly outspend the whole
+        run.  Exhausted counters clamp to zero (the child trips on its
+        first tick).
+        """
+
+        def left(limit: int | None, spent: int) -> int | None:
+            return None if limit is None else max(0, limit - spent)
+
+        remaining = self.remaining_s()
+        return Budget(
+            deadline_s=None if remaining is None else max(0.0, remaining),
+            max_nodes=left(self._max_nodes, self.nodes_expanded),
+            max_splits=left(self._max_splits, self.edges_split),
+            max_discrepancies=left(
+                self._max_discrepancies, self.discrepancies_found
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Hot-loop ticks (amortized checks)
     # ------------------------------------------------------------------

@@ -10,7 +10,7 @@ rest of the library is built on:
   union of intervals, with full set algebra.
 """
 
-from repro.intervals.interval import Interval
+from repro.intervals.interval import Interval, MAX_ENUMERABLE_VALUES
 from repro.intervals.intervalset import IntervalSet, checkpoints
 
-__all__ = ["Interval", "IntervalSet", "checkpoints"]
+__all__ = ["Interval", "IntervalSet", "MAX_ENUMERABLE_VALUES", "checkpoints"]

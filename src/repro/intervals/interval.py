@@ -15,7 +15,16 @@ from typing import Iterator
 
 from repro.exceptions import IntervalError
 
-__all__ = ["Interval"]
+__all__ = ["Interval", "MAX_ENUMERABLE_VALUES"]
+
+#: Cardinality ceiling for value-by-value iteration.  Full-width fields
+#: (a /0 source-IP span holds 2^32 values) make ``for v in interval`` an
+#: accidental multi-minute loop; above this bound iteration raises
+#: :class:`~repro.exceptions.IntervalError` and callers must use the
+#: explicit :meth:`Interval.iter_values` /
+#: :meth:`~repro.intervals.intervalset.IntervalSet.iter_values` escape
+#: hatch (or, better, work on interval endpoints).
+MAX_ENUMERABLE_VALUES = 1 << 20
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -52,7 +61,28 @@ class Interval:
         return self.hi - self.lo + 1
 
     def __iter__(self) -> Iterator[int]:
+        if len(self) > MAX_ENUMERABLE_VALUES:
+            raise IntervalError(
+                f"refusing to iterate {len(self)} values of {self} "
+                f"(> {MAX_ENUMERABLE_VALUES}); use iter_values(limit=...) "
+                "to enumerate a bounded prefix explicitly"
+            )
         return iter(range(self.lo, self.hi + 1))
+
+    def iter_values(self, limit: int | None = None) -> Iterator[int]:
+        """Iterate members regardless of cardinality, optionally capped.
+
+        The escape hatch for the :data:`MAX_ENUMERABLE_VALUES` guard on
+        ``__iter__``: ``limit`` caps the enumeration (``None`` means all
+        values — the caller explicitly accepts the O(cardinality) cost).
+
+        >>> list(Interval(3, 7).iter_values(limit=3))
+        [3, 4, 5]
+        """
+        stop = self.hi + 1
+        if limit is not None:
+            stop = min(stop, self.lo + max(0, limit))
+        return iter(range(self.lo, stop))
 
     def __contains__(self, value: int) -> bool:
         return self.lo <= value <= self.hi

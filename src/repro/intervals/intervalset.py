@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 from repro.exceptions import IntervalError
-from repro.intervals.interval import Interval
+from repro.intervals.interval import Interval, MAX_ENUMERABLE_VALUES
 
 __all__ = ["IntervalSet"]
 
@@ -98,8 +98,43 @@ class IntervalSet:
 
     @classmethod
     def from_values(cls, values: Iterable[int]) -> "IntervalSet":
-        """Build a set from arbitrary individual integers."""
-        return cls([Interval(v, v) for v in values])
+        """Build a set from arbitrary individual integers.
+
+        Sorts the raw integers and run-length-merges consecutive values
+        directly, instead of allocating a throwaway single-value
+        :class:`Interval` per input.
+        """
+        ordered = sorted(values)
+        if not ordered:
+            return _EMPTY
+        if ordered[0] < 0:
+            raise IntervalError(
+                f"interval set members must be >= 0, got {ordered[0]}"
+            )
+        runs: list[Interval] = []
+        lo = hi = ordered[0]
+        for v in ordered[1:]:
+            if v <= hi + 1:
+                if v > hi:
+                    hi = v
+            else:
+                runs.append(Interval(lo, hi))
+                lo = hi = v
+        runs.append(Interval(lo, hi))
+        return cls._from_canonical(tuple(runs))
+
+    @classmethod
+    def _from_canonical(cls, intervals: tuple[Interval, ...]) -> "IntervalSet":
+        """Wrap an already-canonical interval tuple without re-sorting.
+
+        Internal trusted constructor used by the sweep-based set algebra:
+        the sweeps emit sorted, disjoint, merged output, so running
+        ``_canonicalize`` over it again would only re-pay the sort.
+        """
+        result = cls.__new__(cls)
+        result._intervals = intervals
+        result._hash = None
+        return result
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -139,8 +174,36 @@ class IntervalSet:
         return False
 
     def __iter__(self) -> Iterator[int]:
+        # Eager check (not inside the generator) so iter() itself raises.
+        if self.count() > MAX_ENUMERABLE_VALUES:
+            raise IntervalError(
+                f"refusing to iterate {self.count()} values of an interval"
+                f" set (> {MAX_ENUMERABLE_VALUES}); use iter_values"
+                "(limit=...) to enumerate a bounded prefix explicitly"
+            )
+        return self.iter_values()
+
+    def iter_values(self, limit: int | None = None) -> Iterator[int]:
+        """Iterate members regardless of cardinality, optionally capped.
+
+        The escape hatch for the
+        :data:`~repro.intervals.interval.MAX_ENUMERABLE_VALUES` guard on
+        ``__iter__``: ``limit`` caps the enumeration (``None`` means all
+        values — the caller explicitly accepts the O(cardinality) cost).
+
+        >>> list(IntervalSet.of((0, 2), (8, 9)).iter_values(limit=4))
+        [0, 1, 2, 8]
+        """
+        remaining = limit
         for iv in self._intervals:
-            yield from iv
+            if remaining is None:
+                yield from iv.iter_values()
+                continue
+            if remaining <= 0:
+                return
+            size = len(iv)
+            yield from iv.iter_values(limit=remaining)
+            remaining -= min(size, remaining)
 
     def min(self) -> int:
         """Smallest member; raises :class:`IntervalError` if empty."""
@@ -179,12 +242,34 @@ class IntervalSet:
     # Set algebra
     # ------------------------------------------------------------------
     def union(self, other: "IntervalSet") -> "IntervalSet":
-        """Return the set union."""
+        """Return the set union via a linear two-pointer merge sweep.
+
+        Both inputs are already canonical (sorted, disjoint, merged), so
+        the union is a single merge pass that coalesces touching
+        intervals as it goes — no re-sort, no re-canonicalization.
+        """
         if not self._intervals:
             return other
         if not other._intervals:
             return self
-        return IntervalSet(self._intervals + other._intervals)
+        a, b = self._intervals, other._intervals
+        i = j = 0
+        len_a, len_b = len(a), len(b)
+        out: list[Interval] = []
+        while i < len_a or j < len_b:
+            if j >= len_b or (i < len_a and a[i].lo <= b[j].lo):
+                nxt = a[i]
+                i += 1
+            else:
+                nxt = b[j]
+                j += 1
+            if out and nxt.lo <= out[-1].hi + 1:
+                last = out[-1]
+                if nxt.hi > last.hi:
+                    out[-1] = Interval(last.lo, nxt.hi)
+            else:
+                out.append(nxt)
+        return IntervalSet._from_canonical(tuple(out))
 
     def intersect(self, other: "IntervalSet") -> "IntervalSet":
         """Return the set intersection via a two-pointer sweep."""
@@ -200,10 +285,7 @@ class IntervalSet:
                 i += 1
             else:
                 j += 1
-        result = IntervalSet.__new__(IntervalSet)
-        result._intervals = tuple(out)
-        result._hash = None
-        return result
+        return IntervalSet._from_canonical(tuple(out))
 
     def subtract(self, other: "IntervalSet") -> "IntervalSet":
         """Return ``self`` minus ``other`` via a sweep over both lists."""
@@ -227,10 +309,7 @@ class IntervalSet:
                 k += 1
             if lo <= iv.hi:
                 out.append(Interval(lo, iv.hi))
-        result = IntervalSet.__new__(IntervalSet)
-        result._intervals = tuple(out)
-        result._hash = None
-        return result
+        return IntervalSet._from_canonical(tuple(out))
 
     def complement(self, universe: "IntervalSet") -> "IntervalSet":
         """Return ``universe - self`` (complement within a field's domain)."""

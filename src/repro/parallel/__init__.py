@@ -1,0 +1,37 @@
+"""Sharded parallel comparison engine (perf layer over :mod:`repro.fdd.fast`).
+
+Partitions the comparison product walk by the root field's edge
+partition and fans the shards out across worker processes; per-shard
+results merge exactly (disputed counts and per-decision-pair volumes
+are identical to the serial engine's).  :func:`compare_many` runs the
+Section 7.3 cross comparison of ``t`` team versions concurrently, one
+pair per task.  See :mod:`repro.parallel.engine` for the merge argument
+and guard-budget propagation rules, and ``docs/performance.md`` for
+measured numbers.
+"""
+
+from repro.parallel.engine import (
+    PairComparison,
+    ParallelComparison,
+    ShardResult,
+    compare_many,
+    compare_parallel,
+    compare_sharded,
+    comparison_summary,
+    default_jobs,
+    plan_shards,
+    restrict_to_shard,
+)
+
+__all__ = [
+    "PairComparison",
+    "ParallelComparison",
+    "ShardResult",
+    "compare_many",
+    "compare_parallel",
+    "compare_sharded",
+    "comparison_summary",
+    "default_jobs",
+    "plan_shards",
+    "restrict_to_shard",
+]

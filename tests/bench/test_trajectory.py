@@ -1,0 +1,127 @@
+"""Tests for the JSON perf-trajectory format and regression comparator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    compare_trajectories,
+    load_trajectory,
+    machine_fingerprint,
+    trajectory_payload,
+    write_trajectory,
+)
+
+
+def payload(rows):
+    return trajectory_payload("unit", rows)
+
+
+class TestPayload:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = write_trajectory(
+            tmp_path / "t.json", "unit", [{"key": "a", "total_ms": 1.5}]
+        )
+        doc = load_trajectory(path)
+        assert doc["benchmark"] == "unit"
+        assert doc["rows"] == [{"key": "a", "total_ms": 1.5}]
+        assert doc["machine"] == machine_fingerprint()
+        # stable formatting: sorted keys, trailing newline
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == doc
+
+    def test_rows_need_unique_keys(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            trajectory_payload("unit", [{"key": "a"}, {"key": "a"}])
+        with pytest.raises(ValueError, match="'key'"):
+            trajectory_payload("unit", [{"total_ms": 1.0}])
+
+    def test_load_rejects_non_trajectory_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="missing"):
+            load_trajectory(path)
+
+
+class TestCompare:
+    def test_within_threshold_is_clean(self):
+        base = payload([{"key": "a", "total_ms": 100.0, "shards": 4}])
+        cur = payload([{"key": "a", "total_ms": 120.0, "shards": 5}])
+        assert compare_trajectories(base, cur, threshold=0.25) == []
+
+    def test_slower_timing_is_a_regression(self):
+        base = payload([{"key": "a", "total_ms": 100.0}])
+        cur = payload([{"key": "a", "total_ms": 130.0}])
+        found = compare_trajectories(base, cur, threshold=0.25)
+        assert [(r.row_key, r.metric, r.kind) for r in found] == [
+            ("a", "total_ms", "slower")
+        ]
+        assert found[0].ratio == pytest.approx(1.3)
+
+    def test_counters_are_not_timings(self):
+        base = payload([{"key": "a", "shards": 4, "disputed_packets": 10}])
+        cur = payload([{"key": "a", "shards": 400, "disputed_packets": 99}])
+        assert compare_trajectories(base, cur) == []
+
+    def test_exact_fields_must_match(self):
+        base = payload([{"key": "a", "disputed_packets": 10}])
+        cur = payload([{"key": "a", "disputed_packets": 11}])
+        found = compare_trajectories(base, cur, exact=("disputed_packets",))
+        assert [r.kind for r in found] == ["drift"]
+
+    def test_missing_row_is_a_regression_but_new_row_is_not(self):
+        base = payload([{"key": "a", "total_ms": 1.0}])
+        cur = payload([{"key": "b", "total_ms": 1.0}])
+        found = compare_trajectories(base, cur)
+        assert [r.kind for r in found] == ["missing-row"]
+        assert compare_trajectories(cur, cur) == []
+
+    def test_sub_noise_floor_timings_are_skipped(self):
+        base = payload([{"key": "a", "total_ms": 0.2}])
+        cur = payload([{"key": "a", "total_ms": 0.9}])  # 4.5x but micro-noise
+        assert compare_trajectories(base, cur, min_ms=1.0) == []
+
+    def test_us_and_s_suffixes_scale_to_ms(self):
+        base = payload([{"key": "a", "per_op_us": 50.0, "phase_s": 2.0}])
+        cur = payload([{"key": "a", "per_op_us": 900.0, "phase_s": 3.0}])
+        found = compare_trajectories(base, cur, min_ms=1.0)
+        # per_op_us: both sides < 1 ms -> skipped; phase_s: 1.5x -> flagged
+        assert [(r.metric, r.kind) for r in found] == [("phase_s", "slower")]
+
+
+class TestCheckRegressCli:
+    def test_exit_codes(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regress.py"
+        base = write_trajectory(tmp_path / "base.json", "unit", [{"key": "a", "total_ms": 10.0}])
+        same = write_trajectory(tmp_path / "same.json", "unit", [{"key": "a", "total_ms": 10.0}])
+        slow = write_trajectory(tmp_path / "slow.json", "unit", [{"key": "a", "total_ms": 20.0}])
+
+        ok = subprocess.run(
+            [sys.executable, str(script), str(base), str(same)],
+            capture_output=True,
+            text=True,
+        )
+        assert ok.returncode == 0, ok.stderr
+        assert "OK" in ok.stdout
+
+        bad = subprocess.run(
+            [sys.executable, str(script), str(base), str(slow)],
+            capture_output=True,
+            text=True,
+        )
+        assert bad.returncode == 1
+        assert "regression" in bad.stdout
+
+        missing = subprocess.run(
+            [sys.executable, str(script), str(base), str(tmp_path / "nope.json")],
+            capture_output=True,
+            text=True,
+        )
+        assert missing.returncode == 2

@@ -152,3 +152,38 @@ def test_checkpoints():
 def test_repr_round_trip():
     s = IntervalSet.of((0, 4), 9)
     assert eval(repr(s)) == s
+
+
+class TestEnumerationGuards:
+    """The O(cardinality) traps are gated (see ``MAX_ENUMERABLE_VALUES``)."""
+
+    def test_small_sets_iterate_normally(self):
+        assert list(IntervalSet.of((0, 2), (8, 9))) == [0, 1, 2, 8, 9]
+
+    def test_huge_set_iteration_raises(self):
+        from repro.intervals import MAX_ENUMERABLE_VALUES
+
+        huge = IntervalSet.span(0, MAX_ENUMERABLE_VALUES + 5)
+        with pytest.raises(IntervalError, match="refusing to iterate"):
+            iter(huge)
+
+    def test_huge_interval_iteration_raises(self):
+        from repro.intervals import MAX_ENUMERABLE_VALUES
+
+        with pytest.raises(IntervalError, match="refusing to iterate"):
+            iter(Interval(0, MAX_ENUMERABLE_VALUES + 5))
+
+    def test_iter_values_is_the_escape_hatch(self):
+        from repro.intervals import MAX_ENUMERABLE_VALUES
+
+        huge = IntervalSet.of((0, 2), (10, MAX_ENUMERABLE_VALUES + 100))
+        assert list(huge.iter_values(limit=5)) == [0, 1, 2, 10, 11]
+        assert list(Interval(3, 10**9).iter_values(limit=3)) == [3, 4, 5]
+
+    def test_iter_values_unlimited_on_small_sets(self):
+        s = IntervalSet.of((4, 6),)
+        assert list(s.iter_values()) == [4, 5, 6]
+
+    @given(interval_sets(60), st.integers(min_value=0, max_value=10))
+    def test_iter_values_limit_is_a_prefix(self, s, limit):
+        assert list(s.iter_values(limit=limit)) == list(s)[:limit]

@@ -66,6 +66,56 @@ class TestEquivalent:
         assert "NOT equivalent" in capsys.readouterr().out
 
 
+class TestJobs:
+    """``--jobs N`` routes through the sharded parallel engine."""
+
+    def test_compare_jobs_matches_serial_regions(self, policies, capsys):
+        # Region *carving* may differ at shard boundaries (aggregation
+        # sees different input cells), but the count, the headline, and
+        # the disputed semantics must agree.
+        serial_code = main(["compare", *policies])
+        serial_out = capsys.readouterr().out
+        parallel_code = main(["compare", "--jobs", "2", *policies])
+        parallel_out = capsys.readouterr().out
+        assert parallel_code == serial_code == 1
+        assert "3 functional discrepancy region(s)" in serial_out
+        assert "3 functional discrepancy region(s)" in parallel_out
+        assert "Team A" in parallel_out and "Team B" in parallel_out
+
+    def test_compare_jobs_equivalent_exit_0(self, policies, capsys):
+        assert main(["compare", "--jobs", "2", policies[0], policies[0]]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_equivalent_jobs_exit_codes(self, policies, capsys):
+        assert main(["equivalent", "--jobs", "2", *policies]) == 1
+        assert "NOT equivalent" in capsys.readouterr().out
+        assert main(["equivalent", "--jobs", "2", policies[0], policies[0]]) == 0
+
+    def test_jobs_budget_trip_exits_3(self, policies, capsys):
+        code = main(
+            ["equivalent", "--jobs", "2", "--max-nodes", "5", *policies]
+        )
+        assert code == 3
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_jobs_budget_trip_with_fallback_degrades(self, policies, capsys):
+        code = main(
+            [
+                "equivalent",
+                "--jobs",
+                "2",
+                "--max-nodes",
+                "5",
+                "--approx-fallback",
+                *policies,
+            ]
+        )
+        out = capsys.readouterr().out
+        # Sampling either finds a witness (1) or proves nothing (4).
+        assert code in (1, 4)
+        assert "sampling" in out
+
+
 class TestQuery:
     def test_count(self, policies, capsys):
         code = main(["query", policies[1], "count discard where interface=1"])
