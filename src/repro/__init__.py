@@ -40,8 +40,9 @@ from repro.analysis import (
     resolve_by_patching,
     resolve_with,
 )
-from repro.exceptions import BudgetExceededError, CancelledError, ReproError
+from repro.exceptions import BudgetExceededError, CancelledError, LintError, ReproError
 from repro.guard import Budget, FaultInjector, GuardContext
+from repro.lint import Diagnostic, LintReport, run_lint
 from repro.fdd import (
     FDD,
     compare_direct,
@@ -83,9 +84,12 @@ __all__ = [
     "DISCARD",
     "DISCARD_LOG",
     "Decision",
+    "Diagnostic",
     "Discrepancy",
     "DiverseDesignSession",
     "FDD",
+    "LintError",
+    "LintReport",
     "FaultInjector",
     "FieldSchema",
     "Firewall",
@@ -113,6 +117,7 @@ __all__ = [
     "resolve_by_corrected_fdd",
     "resolve_by_patching",
     "resolve_with",
+    "run_lint",
     "standard_schema",
     "toy_schema",
 ]

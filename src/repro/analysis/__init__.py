@@ -22,6 +22,11 @@ from repro.analysis.diverse_design import (
     cross_compare,
     make_all_semi_isomorphic,
 )
+from repro.analysis.effective import (
+    EffectiveAnalysis,
+    EffectiveRule,
+    effective_rules,
+)
 from repro.analysis.equivalence import disputed_packet_count, equivalent
 from repro.analysis.impact import ChangeImpactReport, ImpactKind, analyze_change
 from repro.analysis.query_language import ParsedQuery, QuerySession, parse_query, run_query
@@ -51,6 +56,8 @@ __all__ = [
     "CoverageReport",
     "Discrepancy",
     "DiverseDesignSession",
+    "EffectiveAnalysis",
+    "EffectiveRule",
     "ImpactKind",
     "MultiDiscrepancy",
     "ParsedQuery",
@@ -72,6 +79,7 @@ __all__ = [
     "cross_compare",
     "decisions_in_region",
     "disputed_packet_count",
+    "effective_rules",
     "equivalent",
     "find_anomalies",
     "find_redundant_rules",

@@ -23,7 +23,6 @@ from typing import Callable, Sequence
 
 from repro.analysis.aggregate import aggregate_discrepancies
 from repro.analysis.discrepancy import Discrepancy
-from repro.analysis.equivalence import equivalent
 from repro.analysis.resolution import (
     ResolvedDiscrepancy,
     resolve_by_corrected_fdd,

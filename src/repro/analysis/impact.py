@@ -17,8 +17,6 @@ administrator-facing report:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
-
 from repro.analysis.aggregate import aggregate_discrepancies
 from repro.analysis.discrepancy import Discrepancy, format_discrepancy_table
 from repro.fdd.comparison import compare_firewalls

@@ -10,8 +10,6 @@ the policy's FDD — no packet enumeration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
-
 from repro.exceptions import QueryError
 from repro.fdd.construction import construct_fdd
 from repro.fdd.fdd import FDD

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.exceptions import NotComprehensiveError
 from repro.analysis.equivalence import equivalent
+from repro.guard import GuardContext
 from repro.intervals import IntervalSet
 from repro.policy.firewall import Firewall
 
@@ -75,28 +76,38 @@ def _subtract_box(
     return out
 
 
-def find_redundant_rules(firewall: Firewall) -> list[int]:
+def find_redundant_rules(
+    firewall: Firewall, *, guard: GuardContext | None = None
+) -> list[int]:
     """Indices of rules that are individually redundant (complete criterion).
 
     Each index ``i`` satisfies: the firewall without rule ``i`` is
     semantically equivalent to the original.  Note removals interact — two
     individually-redundant rules may not both be removable; use
     :func:`remove_redundant_rules` to actually slim a policy.
+
+    ``guard`` bounds the underlying comparison pipeline across *all*
+    candidate removals (one shared budget, per the guard's accumulation
+    semantics), with a checkpoint before each candidate.
     """
     redundant: list[int] = []
     for index in range(len(firewall)):
         if len(firewall) == 1:
             break
+        if guard is not None:
+            guard.checkpoint("redundancy.candidate")
         try:
             candidate = firewall.remove(index)
         except NotComprehensiveError:
             continue
-        if equivalent(firewall, candidate):
+        if equivalent(firewall, candidate, guard=guard):
             redundant.append(index)
     return redundant
 
 
-def remove_redundant_rules(firewall: Firewall) -> Firewall:
+def remove_redundant_rules(
+    firewall: Firewall, *, guard: GuardContext | None = None
+) -> Firewall:
     """Greedily drop redundant rules, top-down, until none remain.
 
     Preserves semantics exactly (each removal is verified with the
@@ -119,12 +130,14 @@ def remove_redundant_rules(firewall: Firewall) -> Firewall:
         changed = False
         index = 0
         while index < len(current) and len(current) > 1:
+            if guard is not None:
+                guard.checkpoint("redundancy.candidate")
             try:
                 candidate = current.remove(index)
             except NotComprehensiveError:
                 index += 1
                 continue
-            if equivalent(current, candidate):
+            if equivalent(current, candidate, guard=guard):
                 current = candidate
                 changed = True
                 # Stay at the same index: the next rule shifted into it.

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.analysis.aggregate import aggregate_discrepancies
 from repro.analysis.anomaly import find_anomalies
 from repro.analysis.coverage import coverage_report
 from repro.analysis.discrepancy import format_discrepancy_table

@@ -24,7 +24,6 @@ from typing import Callable, Iterable, Sequence
 
 from repro.analysis.discrepancy import Discrepancy
 from repro.exceptions import ResolutionError
-from repro.fdd.comparison import compare_firewalls
 from repro.fdd.construction import construct_fdd
 from repro.fdd.fdd import FDD
 from repro.fdd.generation import generate_firewall
@@ -214,6 +213,7 @@ def resolve_by_corrected_fdd(
 ) -> Firewall:
     """Method 1 (Section 6.1): correct an FDD, then generate rules from it.
 
+    >>> from repro.fdd import compare_firewalls
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
     >>> schema = toy_schema(9)

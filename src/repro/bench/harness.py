@@ -17,10 +17,8 @@ import statistics
 import time
 from dataclasses import dataclass
 
-from repro.analysis.aggregate import aggregate_discrepancies
 from repro.bench.timing import (
     FastTimings,
-    PhaseTimings,
     timed_comparison,
     timed_fast_comparison,
 )

@@ -26,7 +26,6 @@ from __future__ import annotations
 import json
 import os
 import platform
-import sys
 from dataclasses import dataclass
 from pathlib import Path
 

@@ -11,6 +11,7 @@ files in the library's text format (see :mod:`repro.policy.parser`):
     $ python -m repro query policy.fw "count accept where dst_port=smtp"
     $ python -m repro compact policy.fw
     $ python -m repro anomalies policy.fw
+    $ python -m repro lint policy.fw --format sarif
     $ python -m repro export policy.fw --format iptables
     $ python -m repro import rules.v4 --format iptables
     $ python -m repro show policy.fw
@@ -19,9 +20,9 @@ files in the library's text format (see :mod:`repro.policy.parser`):
     $ python -m repro audit before.fw after.fw
 
 All commands exit 0 on success; ``compare`` and ``impact`` exit 1 when
-discrepancies exist and ``equivalent`` exits 1 when the policies differ,
-so the commands compose into shell checks (e.g. CI gates on policy
-changes).
+discrepancies exist, ``equivalent`` exits 1 when the policies differ, and
+``lint`` exits 1 when findings reach the ``--fail-on`` threshold, so the
+commands compose into shell checks (e.g. CI gates on policy changes).
 
 ``compare``, ``equivalent``, and ``impact`` accept execution budgets
 (see ``docs/robustness.md``): ``--deadline SECONDS`` and
@@ -197,6 +198,54 @@ def build_parser() -> argparse.ArgumentParser:
         "anomalies", help="flag pairwise rule anomalies (shadowing, ...)"
     )
     anomalies.add_argument("policy")
+    anomalies.add_argument(
+        "--exact",
+        action="store_true",
+        help=(
+            "decide shadowing exactly (FDD-backed cumulative cover)"
+            " instead of the classic pairwise special case"
+        ),
+    )
+
+    lint = sub.add_parser(
+        "lint", help="static analysis: structured diagnostics over a policy"
+    )
+    lint.add_argument("policy", nargs="?", help="policy file (omit with --list-checks)")
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="fmt",
+        help="output format (sarif targets SARIF 2.1.0 for code scanning)",
+    )
+    lint.add_argument(
+        "--enable",
+        action="append",
+        metavar="CODE",
+        default=None,
+        help="run only the listed checks (repeatable; codes or names)",
+    )
+    lint.add_argument(
+        "--disable",
+        action="append",
+        metavar="CODE",
+        default=None,
+        help="skip the listed checks (repeatable; codes or names)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        dest="fail_on",
+        help="lowest severity that makes the command exit 1 (default: error)",
+    )
+    lint.add_argument(
+        "--list-checks",
+        action="store_true",
+        dest="list_checks",
+        help="print the check catalog (code, severity, summary) and exit",
+    )
+    _add_guard_options(lint, fallback=False)
 
     export = sub.add_parser("export", help="render in a device-style format")
     export.add_argument("policy")
@@ -362,13 +411,44 @@ def _cmd_compact(args) -> int:
 
 def _cmd_anomalies(args) -> int:
     firewall = load(args.policy)
-    found = find_anomalies(firewall)
+    found = find_anomalies(firewall, exact=args.exact)
     if not found:
-        print("no pairwise anomalies")
+        print("no pairwise anomalies" if not args.exact else "no anomalies")
         return 0
     for anomaly in found:
         print(anomaly.describe(firewall))
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint import (
+        Severity,
+        all_checks,
+        render_json,
+        render_sarif,
+        render_text,
+        run_lint,
+    )
+
+    if args.list_checks:
+        for info in all_checks():
+            print(f"{info.code}  {info.name:<22} {info.severity.value:<8} {info.summary}")
+        return EXIT_OK
+    if args.policy is None:
+        print("error: a policy file is required (or pass --list-checks)", file=sys.stderr)
+        return EXIT_ERROR
+    firewall = load(args.policy)
+    budget = _budget_from_args(args)
+    guard = GuardContext(budget) if budget is not None else None
+    report = run_lint(
+        firewall, enable=args.enable, disable=args.disable, guard=guard
+    )
+    render = {"text": render_text, "json": render_json, "sarif": render_sarif}[args.fmt]
+    print(render(report, path=args.policy))
+    if args.fail_on == "never":
+        return EXIT_OK
+    threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    return EXIT_DISCREPANCIES if report.has_at_least(threshold) else EXIT_OK
 
 
 def _cmd_export(args) -> int:
@@ -452,6 +532,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "compact": _cmd_compact,
     "anomalies": _cmd_anomalies,
+    "lint": _cmd_lint,
     "export": _cmd_export,
     "show": _cmd_show,
     "fingerprint": _cmd_fingerprint,

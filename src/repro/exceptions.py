@@ -114,6 +114,15 @@ class QueryError(ReproError):
     """A firewall query (extension module) was malformed."""
 
 
+class LintError(ReproError):
+    """The policy lint engine (:mod:`repro.lint`) was misconfigured.
+
+    Raised for unknown diagnostic codes in enable/disable selections and
+    other configuration mistakes — never for findings themselves, which
+    are reported as :class:`repro.lint.Diagnostic` records.
+    """
+
+
 class GuardError(ReproError):
     """Base class for guarded-execution failures (:mod:`repro.guard`).
 

@@ -31,7 +31,7 @@ from repro.policy.decision import Decision
 from repro.fdd.construction import construct_fdd
 from repro.fdd.fdd import FDD
 from repro.fdd.generation import generate_firewall
-from repro.fdd.node import Edge, InternalNode, Node, TerminalNode
+from repro.fdd.node import InternalNode, Node, TerminalNode
 
 __all__ = ["FDDBuilder", "reorder_fdd"]
 

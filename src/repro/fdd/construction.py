@@ -65,24 +65,32 @@ def _append(
     decision: Decision,
     index: int,
     guard: GuardContext | None = None,
-) -> None:
+) -> bool:
     """Append the rule suffix ``F_index in S_index and ...`` at ``node``.
 
     Mirrors Fig. 7's APPEND: ``node`` is an internal node labelled with
     field ``index`` (construction keeps all fields on every path, so the
     node's label always equals ``index`` here).
+
+    Returns ``True`` when appending created at least one new decision path
+    — i.e. some packet matching the rule suffix falls outside every
+    existing edge somewhere below ``node``.  Because a packet only reaches
+    a terminal of the partial FDD when an earlier (higher-priority) rule
+    matched it, a ``False`` return means every packet of the suffix was
+    already decided by earlier rules: the rule is *ineffective* here.
     """
     if guard is not None:
         guard.tick_nodes()
     if isinstance(node, TerminalNode):
         # Packets reaching a terminal matched an earlier rule; first-match
         # resolution means the new rule contributes nothing here.
-        return
+        return False
     assert node.field_index == index, (
         f"construction invariant broken: node labelled {node.field_index},"
         f" expected {index}"
     )
     rule_set = sets[index]
+    added = False
 
     # Step 1 (Fig. 7 lines 1-4): value-set slice covered by no existing
     # edge gets a fresh edge to a new decision path for the rule's suffix.
@@ -94,6 +102,7 @@ def _append(
         else:
             target = build_decision_path(schema, sets, decision, index + 1)
         node.add_edge(uncovered, target)
+        added = True
 
     # Step 2 (Fig. 7 lines 5-13): distribute the overlap over existing
     # edges, splitting partially-overlapped edges and replicating their
@@ -105,7 +114,7 @@ def _append(
             continue  # case (i): S1 and I(e) disjoint -> skip the edge
         if overlap == edge.label:
             # case (ii): edge fully inside the rule's set -> push down.
-            _append(edge.target, schema, sets, decision, index + 1, guard)
+            added |= _append(edge.target, schema, sets, decision, index + 1, guard)
         else:
             # case (iii): split e into e' (outside) and e'' (overlap), with
             # a replicated subgraph for e''; then push the rule into e''.
@@ -116,12 +125,19 @@ def _append(
             edge.label = outside
             overlap_edge = Edge(overlap, copy)
             new_edges.append(overlap_edge)
-            _append(copy, schema, sets, decision, index + 1, guard)
+            added |= _append(copy, schema, sets, decision, index + 1, guard)
     node.edges.extend(new_edges)
+    return added
 
 
-def append_rule(fdd: FDD, rule: Rule, *, guard: GuardContext | None = None) -> None:
+def append_rule(fdd: FDD, rule: Rule, *, guard: GuardContext | None = None) -> bool:
     """Append one rule to a partial FDD in place (Fig. 7's outer loop).
+
+    Returns ``True`` iff the rule is *effective* against the rules already
+    appended: at least one packet matching it reaches no terminal of the
+    current partial diagram, so the append created a new decision path.
+    The flag is what :mod:`repro.analysis.effective` uses for FDD-exact
+    dead-rule and cumulative-shadowing detection.
 
     In-place and therefore *not* atomic under budget exhaustion: a
     :class:`~repro.exceptions.BudgetExceededError` mid-append can leave
@@ -129,7 +145,7 @@ def append_rule(fdd: FDD, rule: Rule, *, guard: GuardContext | None = None) -> N
     :func:`construct_fdd`, which builds into a private diagram and either
     returns it whole or raises without exposing it.
     """
-    _append(fdd.root, fdd.schema, rule.predicate.sets, rule.decision, 0, guard)
+    return _append(fdd.root, fdd.schema, rule.predicate.sets, rule.decision, 0, guard)
 
 
 def construct_fdd(firewall: Firewall, *, guard: GuardContext | None = None) -> FDD:

@@ -26,7 +26,7 @@ from repro.intervals import IntervalSet
 from repro.policy.decision import Decision
 from repro.policy.predicate import Predicate
 from repro.policy.rule import Rule
-from repro.fdd.node import Edge, InternalNode, Node, TerminalNode, count_nodes_edges, iter_nodes
+from repro.fdd.node import InternalNode, Node, TerminalNode, count_nodes_edges, iter_nodes
 
 __all__ = ["FDD", "DecisionPath", "FDDStats"]
 

@@ -22,7 +22,7 @@ names for protocols).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator
 

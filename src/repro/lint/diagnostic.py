@@ -1,0 +1,126 @@
+"""Structured diagnostics: the lint engine's output records.
+
+A :class:`Diagnostic` is one finding: a stable code (``FW001``), a
+kebab-case check name, a severity, a human message, the zero-based index
+of the rule it anchors to (with its one-based source line when the policy
+came from a file), related rule indices, and an optional fix-it hint.
+Records are plain frozen data so every renderer — text, JSON, SARIF —
+derives from the same truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.policy.firewall import Firewall
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered: error > warning > info."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank for threshold comparisons (error highest)."""
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` this severity maps to."""
+        return {"error": "error", "warning": "warning", "info": "note"}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding (see the check catalog in ``docs/linting.md``)."""
+
+    #: Stable diagnostic code, e.g. ``"FW001"``.
+    code: str
+    #: Kebab-case check name, e.g. ``"shadowed-rule"``.
+    name: str
+    severity: Severity
+    #: Human-readable message (one sentence, names rules as ``r<n>``).
+    message: str
+    #: Zero-based index of the rule the finding anchors to, or ``None``
+    #: for whole-policy findings.
+    rule_index: int | None = None
+    #: One-based source line of the anchor rule, when the policy was
+    #: parsed from a file.
+    line: int | None = None
+    #: Zero-based indices of related rules (e.g. the shadowing earlier
+    #: rules), in priority order.
+    related: tuple[int, ...] = ()
+    #: Optional fix-it hint (imperative sentence).
+    hint: str | None = None
+
+    def location(self, path: str | None = None) -> str:
+        """``path:line`` / ``path:rN`` prefix used by the text renderer."""
+        anchor = f"r{self.rule_index + 1}" if self.rule_index is not None else "policy"
+        if path is None:
+            return anchor
+        if self.line is not None:
+            return f"{path}:{self.line}"
+        return f"{path}:{anchor}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict (stable key order, no nulls for optionals)."""
+        out: dict[str, Any] = {
+            "code": self.code,
+            "name": self.name,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.rule_index is not None:
+            out["rule"] = self.rule_index + 1
+            out["rule_index"] = self.rule_index
+        if self.line is not None:
+            out["line"] = self.line
+        if self.related:
+            out["related_rules"] = [index + 1 for index in self.related]
+        if self.hint is not None:
+            out["hint"] = self.hint
+        return out
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics from one lint run over one policy."""
+
+    firewall: Firewall
+    diagnostics: tuple[Diagnostic, ...]
+    #: Codes of the checks that actually ran (after enable/disable).
+    checks_run: tuple[str, ...] = field(default_factory=tuple)
+
+    def count(self, severity: Severity) -> int:
+        """Number of diagnostics at exactly ``severity``."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    def counts(self) -> dict[str, int]:
+        """``{"error": n, "warning": n, "info": n}``."""
+        return {s.value: self.count(s) for s in Severity}
+
+    def worst(self) -> Severity | None:
+        """The highest severity present, or ``None`` for a clean report."""
+        worst: Severity | None = None
+        for diagnostic in self.diagnostics:
+            if worst is None or diagnostic.severity.rank > worst.rank:
+                worst = diagnostic.severity
+        return worst
+
+    def has_at_least(self, severity: Severity) -> bool:
+        """True if any diagnostic is at or above ``severity``."""
+        return any(d.severity.rank >= severity.rank for d in self.diagnostics)
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        """Diagnostics with the given code, in report order."""
+        return [d for d in self.diagnostics if d.code == code]

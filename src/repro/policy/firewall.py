@@ -24,7 +24,6 @@ from repro.exceptions import (
 from repro.fields import FieldSchema, Packet
 from repro.intervals import IntervalSet
 from repro.policy.decision import Decision
-from repro.policy.predicate import Predicate
 from repro.policy.rule import Rule
 
 __all__ = ["Firewall"]

@@ -65,7 +65,7 @@ def parse_rule(text: str, schema: FieldSchema, line: int | None = None) -> Rule:
     pred_text = pred_text.strip()
     if pred_text.lower() in ("any", "all", "*", ""):
         predicate = Predicate.match_all(schema)
-        return Rule(predicate, decision, comment)
+        return Rule(predicate, decision, comment, source_line=line)
 
     sets: list[IntervalSet | None] = [None] * len(schema)
     for conjunct in _split_conjuncts(pred_text):
@@ -100,7 +100,7 @@ def parse_rule(text: str, schema: FieldSchema, line: int | None = None) -> Rule:
         predicate = Predicate(schema, full_sets)
     except ReproError as exc:
         raise ParseError(str(exc), line) from None
-    return Rule(predicate, decision, comment)
+    return Rule(predicate, decision, comment, source_line=line)
 
 
 def _split_conjuncts(text: str) -> list[str]:

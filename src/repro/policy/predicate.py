@@ -10,7 +10,7 @@ interval-set form and expose :meth:`Predicate.is_simple` plus
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from typing import Iterator, Sequence
 
 from repro.exceptions import PolicyError, SchemaError
 from repro.fields import FieldSchema, Packet

@@ -21,12 +21,20 @@ class Rule:
     here and survive parsing/serialization.
     """
 
-    __slots__ = ("_predicate", "_decision", "_comment", "_hash")
+    __slots__ = ("_predicate", "_decision", "_comment", "_source_line", "_hash")
 
-    def __init__(self, predicate: Predicate, decision: Decision, comment: str = ""):
+    def __init__(
+        self,
+        predicate: Predicate,
+        decision: Decision,
+        comment: str = "",
+        *,
+        source_line: int | None = None,
+    ):
         self._predicate = predicate
         self._decision = decision
         self._comment = comment
+        self._source_line = source_line
         self._hash: int | None = None
 
     @classmethod
@@ -64,6 +72,17 @@ class Rule:
         return self._comment
 
     @property
+    def source_line(self) -> int | None:
+        """One-based line number in the policy file this rule came from.
+
+        Set by :func:`repro.policy.parser.loads`; ``None`` for rules built
+        programmatically.  Like ``comment``, provenance is documentation:
+        it is ignored by ``__eq__``/``__hash__`` and used by diagnostics
+        (:mod:`repro.lint`) to anchor findings to source locations.
+        """
+        return self._source_line
+
+    @property
     def schema(self) -> FieldSchema:
         """Schema of the rule's predicate."""
         return self._predicate.schema
@@ -81,11 +100,15 @@ class Rule:
 
     def with_decision(self, decision: Decision) -> "Rule":
         """A copy of this rule with a different decision."""
-        return Rule(self._predicate, decision, self._comment)
+        return Rule(
+            self._predicate, decision, self._comment, source_line=self._source_line
+        )
 
     def with_comment(self, comment: str) -> "Rule":
         """A copy of this rule with a different comment."""
-        return Rule(self._predicate, self._decision, comment)
+        return Rule(
+            self._predicate, self._decision, comment, source_line=self._source_line
+        )
 
     # ------------------------------------------------------------------
     # Value semantics / presentation

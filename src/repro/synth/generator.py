@@ -24,11 +24,11 @@ worst case" (Section 7.4).  All randomness is seeded and reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.addr import IPV4_MAX, PORT_MAX
 from repro.fields import FieldSchema, standard_schema
-from repro.intervals import Interval, IntervalSet
+from repro.intervals import IntervalSet
 from repro.policy import ACCEPT, DISCARD, Decision, Firewall, Predicate, Rule
 
 __all__ = ["GeneratorConfig", "SyntheticFirewallGenerator", "generate_firewall_pair"]

@@ -21,9 +21,9 @@ from __future__ import annotations
 from repro.addr import ip_to_int
 from repro.fields import FieldSchema, interface_schema
 from repro.intervals import IntervalSet
-from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
 from repro.policy.decision import Decision
-from repro.synth.generator import GeneratorConfig, SyntheticFirewallGenerator
+from repro.synth.generator import SyntheticFirewallGenerator
 
 __all__ = [
     "mail_example_schema",

@@ -14,7 +14,6 @@ from repro.analysis import (
     resolve_with,
 )
 from repro.fdd import compare_firewalls
-from repro.fields import Packet
 from repro.policy import ACCEPT, DISCARD
 from repro.synth import (
     paper_resolution_chooser,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import QuerySession, parse_query, run_query
 from repro.exceptions import QueryError
-from repro.fields import standard_schema, toy_schema
+from repro.fields import toy_schema
 from repro.policy import ACCEPT, DISCARD, Firewall, Rule
 from repro.synth import team_b_firewall
 

@@ -43,7 +43,7 @@ class TestAuditChange:
     def test_fingerprints_differ_iff_changed(self):
         closed = BASE.prepend(r(DISCARD, F1="7-8")).with_name("v2")
         text = audit_change(BASE, closed)
-        lines = [l for l in text.splitlines() if "fingerprint" in l]
+        lines = [ln for ln in text.splitlines() if "fingerprint" in ln]
         assert lines[0].split("`")[1] != lines[1].split("`")[1]
 
     def test_anomaly_delta_reported(self):

@@ -7,7 +7,7 @@ from repro.bdd import FirewallEncoder, compare_with_bdd, cube_to_text
 from repro.fdd.fast import compare_fast
 from repro.fields import enumerate_universe, toy_schema
 from repro.intervals import IntervalSet
-from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+from repro.policy import Rule
 from repro.synth import team_a_firewall, team_b_firewall
 
 from tests.conftest import firewalls

@@ -11,7 +11,7 @@ from repro.fdd import (
     compare_shaped,
     construct_fdd,
 )
-from repro.fields import enumerate_universe, toy_schema
+from repro.fields import toy_schema
 from repro.policy import ACCEPT, ACCEPT_LOG, DISCARD, Firewall, Rule
 from repro.synth import team_a_firewall, team_b_firewall
 

@@ -7,7 +7,7 @@ evaluation — verified exhaustively on toy schemas and by property tests.
 
 from hypothesis import given, settings
 
-from repro.fdd import FDD, construct_fdd
+from repro.fdd import construct_fdd
 from repro.fdd.construction import build_decision_path
 from repro.fdd.node import InternalNode, TerminalNode
 from repro.fields import enumerate_universe, toy_schema

@@ -4,7 +4,7 @@ import pytest
 
 from repro.exceptions import FDDError
 from repro.fdd import FDD, construct_fdd
-from repro.fdd.node import Edge, InternalNode, TerminalNode
+from repro.fdd.node import InternalNode, TerminalNode
 from repro.fields import enumerate_universe, toy_schema
 from repro.intervals import IntervalSet
 from repro.policy import ACCEPT, DISCARD, Firewall, Rule

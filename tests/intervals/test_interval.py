@@ -2,7 +2,6 @@
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.exceptions import IntervalError
 from repro.intervals import Interval

@@ -1,0 +1,1 @@
+"""Tests for the policy lint engine (:mod:`repro.lint`)."""

@@ -1,0 +1,43 @@
+"""The shipped demo policy must keep tripping every diagnostic code.
+
+``examples/lint_demo.fw`` doubles as documentation (docs/linting.md) and
+as the CI lint-smoke input; if a checker stops firing on it, the demo —
+and the smoke test — silently loses coverage.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import all_checks, demo_policy_path, run_lint
+from repro.policy import load
+
+
+def test_demo_policy_exists_in_examples():
+    path = Path(demo_policy_path())
+    assert path.is_file()
+    assert path.parent.name == "examples"
+
+
+def test_every_code_fires_on_demo():
+    report = run_lint(load(demo_policy_path()))
+    fired = {d.code for d in report.diagnostics}
+    registered = {info.code for info in all_checks()}
+    assert fired == registered, (
+        f"codes never fired: {sorted(registered - fired)}; "
+        f"unregistered codes fired: {sorted(fired - registered)}"
+    )
+
+
+def test_demo_counts_are_stable():
+    report = run_lint(load(demo_policy_path()))
+    assert len(report.by_code("FW001")) == 1
+    assert report.by_code("FW001")[0].rule_index == 5
+    assert report.by_code("FW001")[0].related == (2, 3, 4)
+
+
+def test_demo_diagnostics_carry_source_lines():
+    report = run_lint(load(demo_policy_path()))
+    for diag in report.diagnostics:
+        if diag.rule_index is not None:
+            assert diag.line is not None and diag.line >= 1

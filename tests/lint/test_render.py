@@ -1,0 +1,101 @@
+"""Golden-file tests for the three lint renderers.
+
+The goldens are generated from ``examples/lint_demo.fw`` with the path
+pinned to the repo-relative string, so output is byte-stable.  To
+regenerate after an intentional renderer/demo change::
+
+    PYTHONPATH=src python tests/lint/test_render.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import demo_policy_path, run_lint
+from repro.lint.render import render_json, render_sarif, render_text, sarif_dict
+from repro.policy import load
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+DEMO_PATH = "examples/lint_demo.fw"
+
+
+def _render_all() -> dict[str, str]:
+    report = run_lint(load(demo_policy_path()))
+    rendered = {
+        "demo.txt": render_text(report, path=DEMO_PATH),
+        "demo.json": render_json(report, path=DEMO_PATH),
+        "demo.sarif": render_sarif(report, path=DEMO_PATH),
+    }
+    return {k: v if v.endswith("\n") else v + "\n" for k, v in rendered.items()}
+
+
+@pytest.fixture(scope="module")
+def rendered() -> dict[str, str]:
+    return _render_all()
+
+
+@pytest.mark.parametrize("name", ["demo.txt", "demo.json", "demo.sarif"])
+def test_matches_golden(rendered, name):
+    golden = (GOLDEN_DIR / name).read_text()
+    assert rendered[name] == golden, (
+        f"{name} drifted from its golden file; regenerate with "
+        f"`PYTHONPATH=src python tests/lint/test_render.py --regenerate` "
+        f"if the change is intentional"
+    )
+
+
+def test_text_has_summary_line(rendered):
+    last = rendered["demo.txt"].rstrip("\n").splitlines()[-1]
+    assert "finding(s)" in last and "error(s)" in last
+
+
+def test_json_roundtrips(rendered):
+    payload = json.loads(rendered["demo.json"])
+    assert payload["policy"]["path"] == DEMO_PATH
+    assert sum(payload["summary"].values()) == len(payload["diagnostics"])
+    codes = {d["code"] for d in payload["diagnostics"]}
+    assert "FW001" in codes
+    # 1-based rule labels and 0-based indices stay consistent.
+    for diag in payload["diagnostics"]:
+        if diag["rule_index"] is not None:
+            assert diag["rule"] == diag["rule_index"] + 1
+
+
+def test_sarif_structure(rendered):
+    sarif = json.loads(rendered["demo.sarif"])
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert len(rule_ids) == len(set(rule_ids))
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        assert result["level"] in {"error", "warning", "note"}
+        (loc,) = result["locations"]
+        region = loc["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+
+
+def test_sarif_level_mapping():
+    sarif = sarif_dict(run_lint(load(demo_policy_path())), path=DEMO_PATH)
+    levels = {r["ruleId"]: r["level"] for r in sarif["runs"][0]["results"]}
+    assert levels["FW001"] == "error"
+    assert levels["FW202"] == "warning"
+    assert levels["FW101"] == "note"  # SARIF has no "info" level
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, text in _render_all().items():
+        (GOLDEN_DIR / name).write_text(text)
+        print(f"wrote {GOLDEN_DIR / name}")
+
+
+if __name__ == "__main__" and "--regenerate" in sys.argv:
+    _regenerate()

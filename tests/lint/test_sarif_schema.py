@@ -1,0 +1,65 @@
+"""Validate SARIF output against a vendored SARIF 2.1.0 schema subset.
+
+The full OASIS schema lives online; CI cannot fetch it, so a faithful
+subset covering every construct ``repro-lint`` emits is vendored next to
+this test.  ``jsonschema`` is optional at runtime — the test skips when
+the package is absent rather than failing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+jsonschema = pytest.importorskip("jsonschema")
+
+from repro.lint import demo_policy_path, run_lint, sarif_dict  # noqa: E402
+from repro.policy import load  # noqa: E402
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "sarif-2.1.0-subset.schema.json"
+
+
+@pytest.fixture(scope="module")
+def schema() -> dict:
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def validator(schema):
+    cls = jsonschema.validators.validator_for(schema)
+    cls.check_schema(schema)
+    return cls(schema)
+
+
+def test_demo_sarif_is_schema_valid(validator):
+    sarif = sarif_dict(run_lint(load(demo_policy_path())), path="examples/lint_demo.fw")
+    errors = sorted(validator.iter_errors(sarif), key=lambda e: list(e.path))
+    assert not errors, "\n".join(
+        f"{'/'.join(map(str, e.path))}: {e.message}" for e in errors
+    )
+
+
+def test_empty_report_sarif_is_schema_valid(validator, tmp_path):
+    clean = tmp_path / "clean.fw"
+    clean.write_text('firewall "clean" schema=standard\nany -> discard\n')
+    sarif = sarif_dict(run_lint(load(clean)), path=str(clean))
+    errors = list(validator.iter_errors(sarif))
+    assert not errors
+    assert sarif["runs"][0]["results"] == []
+
+
+def test_schema_rejects_bad_level(validator, schema):
+    bad = {
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {"driver": {"name": "repro-lint"}},
+                "results": [{"message": {"text": "x"}, "level": "info"}],
+            }
+        ],
+    }
+    assert any(validator.iter_errors(bad)), (
+        "subset schema must reject SARIF's non-existent 'info' level"
+    )

@@ -5,7 +5,7 @@ from hypothesis import given
 
 from repro.exceptions import NotComprehensiveError, PolicyError, SchemaError
 from repro.fields import enumerate_universe, toy_schema
-from repro.policy import ACCEPT, DISCARD, Firewall, Predicate, Rule
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
 
 from tests.conftest import firewalls
 

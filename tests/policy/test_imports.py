@@ -1,7 +1,6 @@
 """Tests for the iptables / Cisco importers, incl. export round trips."""
 
 import pytest
-from hypothesis import given, settings
 
 from repro.analysis import equivalent
 from repro.exceptions import ParseError
@@ -9,8 +8,6 @@ from repro.policy import (
     ACCEPT,
     ACCEPT_LOG,
     DISCARD,
-    Firewall,
-    Rule,
     from_cisco_acl,
     from_iptables,
     to_cisco_acl,

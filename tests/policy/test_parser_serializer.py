@@ -8,12 +8,9 @@ from repro.fields import standard_schema, toy_schema
 from repro.policy import (
     ACCEPT,
     DISCARD,
-    Firewall,
-    Rule,
     dumps,
     loads,
     parse_rule,
-    rule_to_text,
     to_table,
 )
 from repro.synth import team_a_firewall, team_b_firewall

@@ -13,7 +13,6 @@ Two invariants, checked over random firewalls:
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-import pytest
 
 from repro.analysis import compare_with_fallback
 from repro.exceptions import BudgetExceededError, FaultInjectedError

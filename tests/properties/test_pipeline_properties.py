@@ -14,7 +14,7 @@ from repro.fdd.fast import compare_fast
 from repro.fields import PacketSampler, enumerate_universe, toy_schema
 from repro.synth import SyntheticFirewallGenerator, flip_decision, perturb
 
-from tests.conftest import brute_force_diff, covered_packets, firewalls
+from tests.conftest import covered_packets, firewalls
 
 SCHEMA = toy_schema(9, 9)
 SCHEMA3 = toy_schema(5, 5, 5)
