@@ -30,7 +30,8 @@ from dataclasses import dataclass
 
 from repro.fdd.construction import append_rule, build_decision_path
 from repro.fdd.fdd import FDD
-from repro.fdd.node import TerminalNode, iter_nodes
+from repro.fdd.node import Node, TerminalNode, iter_nodes
+from repro.fdd.store import NodeStore
 from repro.guard import GuardContext
 from repro.intervals import IntervalSet
 from repro.policy.decision import Decision
@@ -128,7 +129,7 @@ def _conflict_sweep(
 
 
 def effective_rules(
-    firewall: Firewall, *, guard: GuardContext | None = None
+    firewall: Firewall, *, guard: GuardContext | None = None, engine: str = "fast"
 ) -> EffectiveAnalysis:
     """Decide, exactly, which rules take effect and which are shadowed.
 
@@ -137,6 +138,15 @@ def effective_rules(
     decision path); shadowing of dead rules from the exact first-match
     decomposition of their predicates.  ``guard`` bounds the construction
     exactly as in :func:`repro.fdd.construct_fdd`.
+
+    With ``engine="fast"`` (default) the partial FDD lives in a
+    :class:`~repro.fdd.store.NodeStore` and appending is *functional*:
+    interning makes structural equality identity, so a rule is dead iff
+    :meth:`NodeStore.append <repro.fdd.store.NodeStore.append>` returns
+    the root unchanged (``new_root is root``) — no path counting needed,
+    and shared subtrees are appended to once instead of once per path.
+    ``engine="reference"`` keeps the paper-literal mutable-tree append;
+    both report identical facts (cross-validated in the test suite).
 
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
@@ -153,15 +163,31 @@ def effective_rules(
     """
     rules = firewall.rules
     first = rules[0]
-    root = build_decision_path(
-        firewall.schema, first.predicate.sets, first.decision, 0
-    )
-    fdd = FDD(firewall.schema, root)
     effective = [True]  # the first rule always first-matches its predicate
-    for rule in rules[1:]:
-        if guard is not None:
-            guard.checkpoint("effective.rule")
-        effective.append(append_rule(fdd, rule, guard=guard))
+    if engine == "reference":
+        root: Node = build_decision_path(
+            firewall.schema, first.predicate.sets, first.decision, 0
+        )
+        fdd = FDD(firewall.schema, root)
+        for rule in rules[1:]:
+            if guard is not None:
+                guard.checkpoint("effective.rule")
+            effective.append(append_rule(fdd, rule, guard=guard))
+        root = fdd.root
+    else:
+        store = NodeStore()
+        root = store.chain(
+            tuple(store.intern_set(s) for s in first.predicate.sets),
+            first.decision,
+        )
+        for rule in rules[1:]:
+            if guard is not None:
+                guard.checkpoint("effective.rule")
+            new_root = store.append(
+                root, rule.predicate.sets, rule.decision, guard=guard
+            )
+            effective.append(new_root is not root)
+            root = new_root
 
     facts: list[EffectiveRule] = []
     for index, is_effective in enumerate(effective):
@@ -189,7 +215,7 @@ def effective_rules(
 
     taken = frozenset(
         node.decision
-        for node in iter_nodes(fdd.root)
+        for node in iter_nodes(root)
         if isinstance(node, TerminalNode)
     )
     return EffectiveAnalysis(

@@ -2,13 +2,21 @@
 
 Two firewalls are equivalent iff they define the same mapping from packets
 to decisions (Section 3.1, ``f1 == f2``).  Equivalence reduces to the
-comparison pipeline returning no discrepancies — the completeness of the
-three algorithms makes this an exact decision procedure, not a sampler.
+comparison returning no discrepancies — the completeness of the three
+algorithms makes this an exact decision procedure, not a sampler.
+
+The default engine is the hash-consed difference diagram
+(:func:`repro.fdd.fast.compare_fast`): equivalence is a short-circuiting
+reachability test on it, and the disputed-packet count a weighted model
+count — no cell enumeration.  ``engine="reference"`` routes through the
+paper-literal construct/shape/compare pipeline instead; both engines are
+cross-validated on the synthesized corpus.
 """
 
 from __future__ import annotations
 
 from repro.fdd.comparison import compare_firewalls
+from repro.fdd.fast import compare_fast
 from repro.guard import GuardContext
 from repro.policy.firewall import Firewall
 
@@ -16,13 +24,17 @@ __all__ = ["equivalent", "disputed_packet_count"]
 
 
 def equivalent(
-    fw_a: Firewall, fw_b: Firewall, *, guard: GuardContext | None = None
+    fw_a: Firewall,
+    fw_b: Firewall,
+    *,
+    guard: GuardContext | None = None,
+    engine: str = "fast",
 ) -> bool:
     """True iff the two firewalls decide every packet identically.
 
-    ``guard`` bounds the underlying comparison pipeline; a budget trip
-    raises :class:`~repro.exceptions.BudgetExceededError` rather than
-    returning a possibly-wrong verdict — equivalence is all-or-nothing.
+    ``guard`` bounds the underlying comparison; a budget trip raises
+    :class:`~repro.exceptions.BudgetExceededError` rather than returning
+    a possibly-wrong verdict — equivalence is all-or-nothing.
 
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
@@ -34,15 +46,26 @@ def equivalent(
     >>> equivalent(fw1, fw2)
     True
     """
-    return not compare_firewalls(fw_a, fw_b, guard=guard)
+    if engine == "reference":
+        return not compare_firewalls(fw_a, fw_b, guard=guard)
+    return not compare_fast(fw_a, fw_b, guard=guard).has_discrepancy()
 
 
 def disputed_packet_count(
-    fw_a: Firewall, fw_b: Firewall, *, guard: GuardContext | None = None
+    fw_a: Firewall,
+    fw_b: Firewall,
+    *,
+    guard: GuardContext | None = None,
+    engine: str = "fast",
 ) -> int:
     """Number of packets on which the two firewalls disagree.
 
-    Exact: sums the sizes of the (disjoint) discrepancy regions produced
-    by the comparison algorithm.
+    Exact: a weighted model count over the difference diagram (default),
+    or the summed sizes of the (disjoint) discrepancy regions produced by
+    the reference comparison algorithm (``engine="reference"``).
     """
-    return sum(disc.size() for disc in compare_firewalls(fw_a, fw_b, guard=guard))
+    if engine == "reference":
+        return sum(
+            disc.size() for disc in compare_firewalls(fw_a, fw_b, guard=guard)
+        )
+    return compare_fast(fw_a, fw_b, guard=guard).disputed_packet_count()

@@ -28,6 +28,8 @@ commands compose into shell checks (e.g. CI gates on policy changes).
 (see ``docs/robustness.md``): ``--deadline SECONDS`` and
 ``--max-nodes N`` bound the run, and ``--approx-fallback`` degrades to
 sampling-based comparison instead of failing when the budget trips.
+The same three commands accept ``--jobs N`` to shard the comparison
+across worker processes (they all run the same comparison underneath).
 Exit codes:
 
 * ``0`` — success (no discrepancies / equivalent / no-op change);
@@ -176,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     impact.add_argument("before")
     impact.add_argument("after")
     _add_guard_options(impact, fallback=False)
+    _add_jobs_option(impact)
 
     equivalent = sub.add_parser(
         "equivalent", help="check two policies for semantic equivalence"
@@ -341,7 +344,9 @@ def _cmd_compare(args) -> int:
 def _cmd_impact(args) -> int:
     budget = _budget_from_args(args)
     guard = GuardContext(budget) if budget is not None else None
-    report = analyze_change(load(args.before), load(args.after), guard=guard)
+    report = analyze_change(
+        load(args.before), load(args.after), guard=guard, jobs=args.jobs
+    )
     print(report.render())
     return EXIT_OK if report.is_noop else EXIT_DISCREPANCIES
 

@@ -12,6 +12,15 @@ That yields:
   front of the full comparison, useful when tracking many policy
   versions (e.g. a git history of firewall changes).
 
+Both run on the store engine by default: the output of
+:func:`~repro.fdd.fast.construct_fdd_fast` is interned bottom-up in a
+:class:`~repro.fdd.store.NodeStore`, so it *is* the reduced ordered FDD
+— canonicalization is just fast construction, no separate reduction walk.
+``engine="reference"`` keeps the paper-literal tree pipeline
+(``reduce_fdd(construct_fdd(...))``) as an independently-implemented
+cross-check; both engines produce byte-identical fingerprints (the digest
+is a pure function of diagram structure, property-tested).
+
 The fingerprint is deterministic across processes (no ``id()``-based
 state leaks into it) — property-tested against the exact equivalence
 procedure.
@@ -22,55 +31,71 @@ from __future__ import annotations
 import hashlib
 
 from repro.fdd.construction import construct_fdd
+from repro.fdd.fast import construct_fdd_fast
 from repro.fdd.fdd import FDD
 from repro.fdd.node import InternalNode, Node, TerminalNode
+from repro.fdd.passes import fold
 from repro.fdd.reduce import reduce_fdd
 from repro.policy.firewall import Firewall
 
 __all__ = ["canonical_fdd", "semantic_fingerprint"]
 
 
-def canonical_fdd(firewall: Firewall | FDD) -> FDD:
+def canonical_fdd(firewall: Firewall | FDD, *, engine: str = "fast") -> FDD:
     """The reduced ordered FDD of a policy (its canonical diagram).
 
     Canonicity relies on every path testing every field in schema order,
-    which :func:`~repro.fdd.construction.construct_fdd` guarantees; FDD
-    inputs are therefore normalized through a generate/reconstruct round
-    trip first (they may skip fields or use another order, Section 7.2).
+    which both construction engines guarantee; FDD inputs are therefore
+    normalized through a generate/reconstruct round trip first (they may
+    skip fields or use another order, Section 7.2).
+
+    ``engine="fast"`` (default) builds the diagram hash-consed — interned
+    construction yields the reduced diagram directly.  ``engine=
+    "reference"`` runs the paper-literal tree construction followed by an
+    explicit reduction; both return structurally identical diagrams.
     """
     if isinstance(firewall, FDD):
         from repro.fdd.generation import generate_firewall
 
         firewall = generate_firewall(firewall, compact=False)
-    return reduce_fdd(construct_fdd(firewall))
+    if engine == "reference":
+        return reduce_fdd(construct_fdd(firewall))
+    return construct_fdd_fast(firewall)
 
 
 def _node_digest(node: Node, memo: dict[int, str]) -> str:
-    found = memo.get(id(node))
-    if found is not None:
-        return found
-    hasher = hashlib.sha256()
-    if isinstance(node, TerminalNode):
+    """SHA-256 digest of a (reduced) subgraph, memoized over shared nodes."""
+
+    def terminal_digest(node: TerminalNode) -> str:
+        hasher = hashlib.sha256()
         hasher.update(b"t")
         hasher.update(node.decision.name.encode())
         hasher.update(b"1" if node.decision.permits else b"0")
-    else:
-        assert isinstance(node, InternalNode)
+        return hasher.hexdigest()
+
+    def internal_digest(node: InternalNode, child_digests: tuple[str, ...]) -> str:
+        hasher = hashlib.sha256()
         hasher.update(b"i")
         hasher.update(str(node.field_index).encode())
         # Reduced FDDs have disjoint labels; sorting by minimum gives a
         # deterministic edge order independent of construction history.
-        for edge in sorted(node.edges, key=lambda e: e.label.min()):
+        for edge, digest in sorted(
+            zip(node.edges, child_digests), key=lambda item: item[0].label.min()
+        ):
             for interval in edge.label.intervals:
                 hasher.update(f"[{interval.lo},{interval.hi}]".encode())
-            hasher.update(_node_digest(edge.target, memo).encode())
-    digest = hasher.hexdigest()
-    memo[id(node)] = digest
-    return digest
+            hasher.update(digest.encode())
+        return hasher.hexdigest()
+
+    return fold(node, terminal=terminal_digest, internal=internal_digest, memo=memo)
 
 
-def semantic_fingerprint(firewall: Firewall | FDD) -> str:
+def semantic_fingerprint(firewall: Firewall | FDD, *, engine: str = "fast") -> str:
     """A stable hex digest of the policy's semantics.
+
+    The digest is a pure function of the canonical diagram's structure,
+    so both engines (``"fast"`` and ``"reference"``) produce identical
+    fingerprints for identical semantics.
 
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
@@ -82,7 +107,7 @@ def semantic_fingerprint(firewall: Firewall | FDD) -> str:
     >>> semantic_fingerprint(one) == semantic_fingerprint(two)
     True
     """
-    canonical = canonical_fdd(firewall)
+    canonical = canonical_fdd(firewall, engine=engine)
     schema_tag = ",".join(
         f"{field.name}:{field.max_value}" for field in canonical.schema
     )

@@ -9,28 +9,30 @@ scales to the paper's largest workloads (two independent 3,000-rule
 firewalls, Fig. 13):
 
 * **Hash-consed construction** (:func:`construct_fdd_fast`): nodes are
-  interned by structural signature, so the "subgraph replication" of the
-  construction algorithm becomes sharing, and appending a rule is
-  memoized per (node, rule) — identical shared subtrees are processed
-  once instead of once per path.
+  interned by structural signature in a :class:`~repro.fdd.store.NodeStore`,
+  so the "subgraph replication" of the construction algorithm becomes
+  sharing, and appending a rule is memoized per (node, rule) — identical
+  shared subtrees are processed once instead of once per path.
 * **Product comparison** (:func:`compare_fast`): instead of materializing
   two semi-isomorphic trees, the two DAGs are walked simultaneously with
-  memoization on node pairs, producing a *difference FDD* whose terminals
-  are decision pairs.  Semi-isomorphic shaping computes exactly this
-  product partition — the difference FDD contains the same information
-  (every companion-path pair and its two decisions) in compressed form.
-  Disputed-packet counts come from a weighted model count; the explicit
-  discrepancy cells of the reference pipeline can still be enumerated on
-  demand.
+  memoization on node pairs (:func:`repro.fdd.passes.product_fold`),
+  producing a *difference FDD* whose terminals are decision pairs.
+  Semi-isomorphic shaping computes exactly this product partition — the
+  difference FDD contains the same information (every companion-path pair
+  and its two decisions) in compressed form.  Disputed-packet counts come
+  from a weighted model count; the explicit discrepancy cells of the
+  reference pipeline can still be enumerated on demand.
 
-Every function here is cross-validated against the reference pipeline in
-the test suite; the large-size benchmarks report both engines where the
-reference is feasible and the fast engine beyond.
+The interning machinery itself lives in :mod:`repro.fdd.store` and the
+traversal shapes in :mod:`repro.fdd.passes`; this module wires them into
+the two entry points the rest of the library uses.  Every function here
+is cross-validated against the reference pipeline in the test suite; the
+large-size benchmarks report both engines where the reference is feasible
+and the fast engine beyond.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.analysis.discrepancy import Discrepancy
@@ -40,12 +42,15 @@ from repro.guard import GuardContext
 from repro.intervals import IntervalSet
 from repro.policy.decision import Decision
 from repro.policy.firewall import Firewall
-from repro.policy.rule import Rule
 from repro.fdd.fdd import FDD
-from repro.fdd.node import Edge, InternalNode, Node, TerminalNode
+from repro.fdd.node import Node, TerminalNode
+from repro.fdd.passes import product_fold
+from repro.fdd.store import NodeStore, PAIRWISE_MEMO_LIMIT
 
 __all__ = [
     "HashConsStore",
+    "NodeStore",
+    "PAIRWISE_MEMO_LIMIT",
     "construct_fdd_fast",
     "DifferenceFDD",
     "build_difference",
@@ -53,223 +58,30 @@ __all__ = [
 ]
 
 
-#: Default bound on the pairwise interval-operation memo (LRU entries).
-#: Keys are ``(op, id, id)`` triples over *interned* sets, so each entry
-#: is three machine words plus the interned result reference.
-PAIRWISE_MEMO_LIMIT = 1 << 16
-
-#: Op tags for the pairwise memo keys (smaller than strings to hash).
-_OP_AND, _OP_SUB, _OP_OR = 1, 2, 3
-
-
-class HashConsStore:
-    """Interns FDD nodes — and their interval-set labels — by structure.
-
-    Terminals intern by decision; internal nodes by
-    ``(field, ((label, id(child)), ...))`` with the edge list sorted by
-    label minimum.  Because children are interned before parents, equal
-    subgraphs always resolve to the *same object*, making structural
-    equality an ``id`` comparison — the property the memoized algorithms
-    rely on.
-
-    :class:`~repro.intervals.IntervalSet` labels get the same treatment
-    (:meth:`intern_set`): equal labels resolve to one pointer-stable
-    instance, which makes an LRU-bounded pairwise memo over
-    :meth:`intersect` / :meth:`subtract` / :meth:`union` sound — keys are
-    ``id`` pairs, and interned instances are kept alive by the store, so
-    an id can never be silently reused while the store exists.  The same
-    few label pairs are intersected over and over during construction and
-    the product walk (every shared subtree replays its edge algebra), so
-    the memo converts the interval sweeps of the hot loop into dict hits.
-    """
-
-    def __init__(self, *, memo_limit: int = PAIRWISE_MEMO_LIMIT) -> None:
-        self._terminals: dict[Decision, TerminalNode] = {}
-        self._internals: dict[tuple, InternalNode] = {}
-        #: set -> the canonical (interned) instance for that value content.
-        self._sets: dict[IntervalSet, IntervalSet] = {}
-        #: (op, id(a), id(b)) -> interned result, LRU-bounded.
-        self._op_memo: OrderedDict[tuple[int, int, int], IntervalSet] = (
-            OrderedDict()
-        )
-        self._memo_limit = max(1, memo_limit)
-
-    # ------------------------------------------------------------------
-    # Interval kernel: interning + memoized pairwise algebra
-    # ------------------------------------------------------------------
-    def intern_set(self, values: IntervalSet) -> IntervalSet:
-        """The canonical instance holding ``values``'s value content.
-
-        Identical labels become pointer-equal; the returned instance is
-        kept alive by the store, so its ``id`` is a stable memo key.
-        """
-        found = self._sets.get(values)
-        if found is None:
-            self._sets[values] = values
-            return values
-        return found
-
-    def _memo_put(self, key: tuple[int, int, int], result: IntervalSet) -> None:
-        memo = self._op_memo
-        memo[key] = result
-        if len(memo) > self._memo_limit:
-            memo.popitem(last=False)
-
-    def intersect(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
-        """Memoized ``a & b`` over interned operands (commutative key)."""
-        a = self.intern_set(a)
-        b = self.intern_set(b)
-        ia, ib = id(a), id(b)
-        key = (_OP_AND, ia, ib) if ia <= ib else (_OP_AND, ib, ia)
-        found = self._op_memo.get(key)
-        if found is not None:
-            self._op_memo.move_to_end(key)
-            return found
-        result = self.intern_set(a.intersect(b))
-        self._memo_put(key, result)
-        return result
-
-    def subtract(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
-        """Memoized ``a - b`` over interned operands."""
-        a = self.intern_set(a)
-        b = self.intern_set(b)
-        key = (_OP_SUB, id(a), id(b))
-        found = self._op_memo.get(key)
-        if found is not None:
-            self._op_memo.move_to_end(key)
-            return found
-        result = self.intern_set(a.subtract(b))
-        self._memo_put(key, result)
-        return result
-
-    def union(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
-        """Memoized ``a | b`` over interned operands (commutative key)."""
-        a = self.intern_set(a)
-        b = self.intern_set(b)
-        ia, ib = id(a), id(b)
-        key = (_OP_OR, ia, ib) if ia <= ib else (_OP_OR, ib, ia)
-        found = self._op_memo.get(key)
-        if found is not None:
-            self._op_memo.move_to_end(key)
-            return found
-        result = self.intern_set(a.union(b))
-        self._memo_put(key, result)
-        return result
-
-    def terminal(self, decision: Decision) -> TerminalNode:
-        """The unique terminal node for ``decision``."""
-        found = self._terminals.get(decision)
-        if found is None:
-            found = TerminalNode(decision)
-            self._terminals[decision] = found
-        return found
-
-    def internal(
-        self, field_index: int, edges: list[tuple[IntervalSet, Node]]
-    ) -> Node:
-        """The unique internal node with the given (merged) edges.
-
-        Edges pointing at the same child are merged by unioning labels.
-        Single-child nodes are *kept* (not collapsed into the child): the
-        construction algorithm's partial FDDs rely on every field being
-        present on every path, exactly as in the reference implementation.
-        """
-        merged: dict[int, list] = {}
-        order: list[int] = []
-        for label, child in edges:
-            key = id(child)
-            if key in merged:
-                merged[key][0] = self.union(merged[key][0], label)
-            else:
-                merged[key] = [self.intern_set(label), child]
-                order.append(key)
-        parts = sorted(
-            ((merged[key][0], merged[key][1]) for key in order),
-            key=lambda item: item[0].min(),
-        )
-        signature = (field_index, tuple((id(label), id(child)) for label, child in parts))
-        found = self._internals.get(signature)
-        if found is None:
-            node = InternalNode(field_index)
-            for label, child in parts:
-                node.edges.append(Edge(label, child))
-            self._internals[signature] = node
-            found = node
-        return found
+#: Backward-compatible name for the extracted store (the hash-consing
+#: machinery now lives in :mod:`repro.fdd.store`).
+HashConsStore = NodeStore
 
 
 def construct_fdd_fast(
     firewall: Firewall,
-    store: HashConsStore | None = None,
+    store: NodeStore | None = None,
     *,
     guard: GuardContext | None = None,
 ) -> FDD:
     """Equivalent of :func:`repro.fdd.construction.construct_fdd`, shared.
 
-    Appends rules functionally: appending returns a new interned node and
-    is memoized on the node it appends to, so shared subtrees — which the
-    tree algorithm would copy and re-walk once per path — are processed
-    once.  The result is a maximally-shared ordered FDD that the rest of
-    the library (evaluation, validation, reduction, generation, the
-    reference shaping) accepts unchanged.
+    Appends rules functionally in a :class:`~repro.fdd.store.NodeStore`:
+    appending returns a new interned node and is memoized on the node it
+    appends to, so shared subtrees — which the tree algorithm would copy
+    and re-walk once per path — are processed once.  The result is a
+    maximally-shared ordered FDD that the rest of the library
+    (evaluation, validation, reduction, generation, the reference
+    shaping) accepts unchanged.  Because every node is interned, the
+    output is already *reduced*: it is the canonical reduced ordered FDD
+    of the policy (see :mod:`repro.fdd.canonical`).
     """
-    store = store or HashConsStore()
-    schema = firewall.schema
-    num_fields = len(schema)
-
-    def chain(rule_sets, decision: Decision, index: int) -> Node:
-        node: Node = store.terminal(decision)
-        for i in range(num_fields - 1, index - 1, -1):
-            node = store.internal(i, [(rule_sets[i], node)])
-        return node
-
-    def append(node: Node, rule_sets, decision: Decision, index: int, memo) -> Node:
-        if guard is not None:
-            guard.tick_nodes()
-        if isinstance(node, TerminalNode):
-            return node
-        found = memo.get(id(node))
-        if found is not None:
-            return found
-        rule_set = rule_sets[index]
-        new_edges: list[tuple[IntervalSet, Node]] = []
-        covered = IntervalSet.empty()
-        for edge in node.edges:
-            common = store.intersect(edge.label, rule_set)
-            covered = store.union(covered, edge.label)
-            if common.is_empty():
-                new_edges.append((edge.label, edge.target))
-                continue
-            outside = store.subtract(edge.label, common)
-            if not outside.is_empty():
-                new_edges.append((outside, edge.target))
-            new_edges.append(
-                (common, append(edge.target, rule_sets, decision, index + 1, memo))
-            )
-        uncovered = store.subtract(rule_set, covered)
-        if not uncovered.is_empty():
-            if index + 1 == num_fields:
-                target: Node = store.terminal(decision)
-            else:
-                target = chain(rule_sets, decision, index + 1)
-            new_edges.append((uncovered, target))
-        result = store.internal(node.field_index, new_edges)
-        memo[id(node)] = result
-        return result
-
-    first = firewall.rules[0]
-    root = chain(
-        tuple(store.intern_set(s) for s in first.predicate.sets),
-        first.decision,
-        0,
-    )
-    for rule in firewall.rules[1:]:
-        if guard is not None:
-            guard.checkpoint("fast.rule")
-        memo: dict[int, Node] = {}
-        rule_sets = tuple(store.intern_set(s) for s in rule.predicate.sets)
-        root = append(root, rule_sets, rule.decision, 0, memo)
-    return FDD(schema, root)
+    return (store or NodeStore()).construct(firewall, guard=guard)
 
 
 @dataclass
@@ -297,6 +109,30 @@ class DifferenceFDD:
             else:
                 raise SchemaError("difference FDD is incomplete (internal error)")
         return node  # type: ignore[return-value]
+
+    def has_discrepancy(self) -> bool:
+        """True iff the two compared firewalls disagree on any packet.
+
+        A short-circuiting reachability walk to an unequal decision pair
+        — no counting, no cell enumeration — which makes it the cheapest
+        equivalence test (:func:`repro.analysis.equivalence.equivalent`
+        is built on it).
+        """
+        seen: set[int] = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not isinstance(node, _PairNode):
+                dec_a, dec_b = node  # type: ignore[misc]
+                if dec_a != dec_b:
+                    return True
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            for _, child in node.edges:
+                stack.append(child)
+        return False
 
     def disputed_packet_count(self) -> int:
         """Exact number of packets on which the two firewalls disagree."""
@@ -470,7 +306,7 @@ def compare_fast(
     """
     if fw_a.schema != fw_b.schema:
         raise SchemaError("cannot compare firewalls over different field schemas")
-    store = HashConsStore()
+    store = NodeStore()
     return build_difference(
         construct_fdd_fast(fw_a, store, guard=guard),
         construct_fdd_fast(fw_b, store, guard=guard),
@@ -484,23 +320,26 @@ def build_difference(
     fdd_b: FDD,
     *,
     guard: GuardContext | None = None,
-    store: HashConsStore | None = None,
+    store: NodeStore | None = None,
 ) -> DifferenceFDD:
     """Product-walk two ordered FDDs into a :class:`DifferenceFDD`.
 
     ``store`` supplies the interval kernel (interned labels + memoized
-    pairwise algebra).  Passing the store both FDDs were constructed with
-    maximizes memo hits — their labels are already pointer-stable — but
-    any store (or none: a private one is made) is correct.
+    pairwise algebra) *and* the product caches: its ``pair_table`` /
+    ``pair_memo`` persist across calls, so several products over diagrams
+    of one store — the shards of :mod:`repro.parallel`, successive
+    impact analyses — share every repeated sub-product.  Passing the
+    store both FDDs were constructed with maximizes memo hits (their
+    labels are already pointer-stable), but any store (or none: a private
+    one is made) is correct.
     """
     if fdd_a.schema != fdd_b.schema:
         raise SchemaError("cannot compare FDDs over different field schemas")
     schema = fdd_a.schema
     num_fields = len(schema)
-    kernel = store if store is not None else HashConsStore()
+    kernel = store if store is not None else NodeStore()
 
-    pair_table: dict[tuple, _PairNode] = {}
-    memo: dict[tuple[int, int], object] = {}
+    pair_table: dict[tuple, _PairNode] = kernel.pair_table
 
     def intern_pair(field_index: int, edges: list[tuple[IntervalSet, object]]):
         merged: dict[int, list] = {}
@@ -525,42 +364,23 @@ def build_difference(
             pair_table[signature] = found
         return found
 
-    def product(na: Node, nb: Node):
+    def visit(na: Node, nb: Node) -> None:
         if guard is not None:
             guard.tick_nodes()
             if guard.fault is not None:
                 guard.fault.fire("fast.product")
-        key = (id(na), id(nb))
-        found = memo.get(key)
-        if found is not None:
-            return found
-        la = na.field_index if isinstance(na, InternalNode) else num_fields
-        lb = nb.field_index if isinstance(nb, InternalNode) else num_fields
-        if la == num_fields and lb == num_fields:
-            assert isinstance(na, TerminalNode) and isinstance(nb, TerminalNode)
-            result: object = (na.decision, nb.decision)
-        else:
-            field = min(la, lb)
-            edges: list[tuple[IntervalSet, object]] = []
-            if la == field and lb == field:
-                assert isinstance(na, InternalNode) and isinstance(nb, InternalNode)
-                for edge_a in na.edges:
-                    for edge_b in nb.edges:
-                        common = kernel.intersect(edge_a.label, edge_b.label)
-                        if not common.is_empty():
-                            edges.append(
-                                (common, product(edge_a.target, edge_b.target))
-                            )
-            elif la == field:
-                assert isinstance(na, InternalNode)
-                for edge_a in na.edges:
-                    edges.append((edge_a.label, product(edge_a.target, nb)))
-            else:
-                assert isinstance(nb, InternalNode)
-                for edge_b in nb.edges:
-                    edges.append((edge_b.label, product(na, edge_b.target)))
-            result = intern_pair(field, edges)
-        memo[key] = result
-        return result
 
-    return DifferenceFDD(schema, product(fdd_a.root, fdd_b.root))
+    def leaf(na: TerminalNode, nb: TerminalNode) -> object:
+        return (na.decision, nb.decision)
+
+    root = product_fold(
+        fdd_a.root,
+        fdd_b.root,
+        num_fields,
+        intersect=kernel.intersect,
+        leaf=leaf,
+        node=intern_pair,
+        visit=visit if guard is not None else None,
+        memo=kernel.pair_memo,
+    )
+    return DifferenceFDD(schema, root)

@@ -30,6 +30,7 @@ from repro.fdd.fdd import FDD
 from repro.fdd.marking import Marking, mark_fdd
 from repro.fdd.node import InternalNode, Node, TerminalNode
 from repro.fdd.reduce import reduce_fdd
+from repro.fdd.store import NodeStore
 
 __all__ = ["generate_firewall", "generate_rules"]
 
@@ -85,12 +86,15 @@ def generate_firewall(
     reduce: bool = True,
     compact: bool = True,
     guard: GuardContext | None = None,
+    store: "NodeStore | None" = None,
 ) -> Firewall:
     """Generate a compact firewall equivalent to ``fdd`` (Method 1, step 2).
 
     ``reduce`` first merges isomorphic subgraphs (fewer, wider paths =>
     fewer generated rules); ``compact`` removes redundant rules from the
-    generated sequence.
+    generated sequence.  ``store`` routes the reduction into an existing
+    :class:`~repro.fdd.store.NodeStore` (store-backed inputs reduce in
+    O(1) — interning is idempotent).
 
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
@@ -105,7 +109,7 @@ def generate_firewall(
     if guard is not None:
         guard.checkpoint("generation.start")
     if reduce:
-        fdd = reduce_fdd(fdd)
+        fdd = reduce_fdd(fdd, store=store)
     rules = generate_rules(fdd, guard=guard)
     firewall = Firewall(fdd.schema, rules, name=name)
     if compact:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.fdd.fdd import FDD
 from repro.fdd.node import Edge, InternalNode, Node, TerminalNode
+from repro.fdd.passes import fold
 
 __all__ = ["mark_fdd", "marked_edge", "node_load"]
 
@@ -62,30 +63,22 @@ def mark_fdd(fdd: FDD) -> Marking:
     rules) is globally optimal for this cost model.
     """
     marking: Marking = {}
-    load_memo: dict[int, int] = {}
 
-    def rec(node: Node) -> int:
-        if isinstance(node, TerminalNode):
-            return 1
-        cached = load_memo.get(id(node))
-        if cached is not None:
-            return cached
-        child_loads = [(edge, rec(edge.target)) for edge in node.edges]
+    def choose(node: InternalNode, child_loads: tuple[int, ...]) -> int:
         best_edge, _best_saving = None, -1
-        for edge, child_load in child_loads:
+        for edge, child_load in zip(node.edges, child_loads):
             saving = (len(edge.label.intervals) - 1) * child_load
             if saving > _best_saving:
                 best_edge, _best_saving = edge, saving
         assert best_edge is not None
         marking[id(node)] = best_edge
         total = 0
-        for edge, child_load in child_loads:
+        for edge, child_load in zip(node.edges, child_loads):
             weight = 1 if edge is best_edge else len(edge.label.intervals)
             total += weight * child_load
-        load_memo[id(node)] = total
         return total
 
-    rec(fdd.root)
+    fold(fdd.root, terminal=lambda node: 1, internal=choose)
     return marking
 
 

@@ -1,0 +1,142 @@
+"""Pass framework: memoized traversals over shared FDD DAGs.
+
+Store-backed diagrams (:mod:`repro.fdd.store`) are maximally shared, so
+any analysis written as a traversal must visit each *node* once, not each
+*path* — otherwise the exponential path blow-up the store exists to avoid
+reappears in the analysis.  This module captures the two traversal shapes
+every store-backed algorithm uses:
+
+* :func:`fold` — a bottom-up catamorphism: compute a value per node from
+  the values of its children, memoized by node identity.  Digesting
+  (:mod:`repro.fdd.canonical`), load accounting (:mod:`repro.fdd.marking`),
+  and path counting are all folds.
+* :func:`product_fold` — the synchronized two-diagram walk behind the
+  difference construction (:func:`repro.fdd.fast.build_difference`):
+  advance through two ordered diagrams level by level, splitting edges on
+  label intersections, memoized by node-*pair* identity.  Semi-isomorphic
+  shaping (Section 5 of the paper) computes exactly this partition; the
+  fold produces it in compressed form.
+
+Both take the combining functions as plain callables, so passes stay
+decoupled from the store: any DAG whose nodes are pointer-unique (store
+output, or any diagram where sharing should be respected rather than
+re-expanded) can be traversed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.fdd.node import InternalNode, Node, TerminalNode
+
+__all__ = ["fold", "product_fold"]
+
+T = TypeVar("T")
+
+
+def fold(
+    root: Node,
+    *,
+    terminal: Callable[[TerminalNode], T],
+    internal: Callable[[InternalNode, tuple[T, ...]], T],
+    memo: dict[int, T] | None = None,
+) -> T:
+    """Bottom-up fold over a shared DAG, one visit per distinct node.
+
+    ``terminal(node)`` produces the value of a terminal; ``internal(node,
+    child_values)`` combines an internal node with its children's values
+    (one per edge, in edge order).  Results are memoized by node identity
+    in ``memo`` (pass your own dict to share results across folds over
+    the same store — e.g. digesting several roots that share subgraphs).
+
+    Recursion depth is bounded by the number of fields in ordered
+    diagrams, so plain recursion is safe.
+    """
+    if memo is None:
+        memo = {}
+
+    def rec(node: Node) -> T:
+        key = id(node)
+        if key in memo:
+            return memo[key]
+        if isinstance(node, TerminalNode):
+            value = terminal(node)
+        else:
+            value = internal(
+                node, tuple(rec(edge.target) for edge in node.edges)
+            )
+        memo[key] = value
+        return value
+
+    return rec(root)
+
+
+def product_fold(
+    root_a: Node,
+    root_b: Node,
+    num_fields: int,
+    *,
+    intersect: Callable,
+    leaf: Callable[[TerminalNode, TerminalNode], T],
+    node: Callable[[int, list], T],
+    visit: Callable[[Node, Node], None] | None = None,
+    memo: dict[tuple[int, int], T] | None = None,
+) -> T:
+    """Synchronized product walk over two ordered shared diagrams.
+
+    Walks ``root_a`` and ``root_b`` simultaneously, level by level:
+
+    * both terminals → ``leaf(a, b)``;
+    * both at the same field → for every edge pair, ``intersect(label_a,
+      label_b)``; non-empty intersections recurse into the child pair and
+      become edges of ``node(field, [(label, child_value), ...])``;
+    * one side ahead (its field absent on the other's path, meaning the
+      whole domain) → the behind side's edges pass through unchanged.
+
+    Memoized by ``(id(a), id(b))`` — each distinct node *pair* is
+    expanded once, which is what keeps the product polynomial on shared
+    diagrams.  Pass a persistent ``memo`` (e.g. a store's ``pair_memo``)
+    to share expansions across several products over the same store, as
+    the sharded parallel engine does.  ``visit(a, b)`` runs on every
+    arrival at a pair *before* the memo lookup — the hook where guard
+    accounting and fault injection observe the walk.
+    """
+    if memo is None:
+        memo = {}
+
+    def rec(na: Node, nb: Node) -> T:
+        if visit is not None:
+            visit(na, nb)
+        key = (id(na), id(nb))
+        found = memo.get(key)
+        if found is not None:
+            return found
+        la = na.field_index if isinstance(na, InternalNode) else num_fields
+        lb = nb.field_index if isinstance(nb, InternalNode) else num_fields
+        if la == num_fields and lb == num_fields:
+            result = leaf(na, nb)  # type: ignore[arg-type]
+        elif la == lb:
+            edges = []
+            for edge_a in na.edges:  # type: ignore[union-attr]
+                for edge_b in nb.edges:  # type: ignore[union-attr]
+                    common = intersect(edge_a.label, edge_b.label)
+                    if common.is_empty():
+                        continue
+                    edges.append((common, rec(edge_a.target, edge_b.target)))
+            result = node(la, edges)
+        elif la < lb:
+            edges = [
+                (edge.label, rec(edge.target, nb))
+                for edge in na.edges  # type: ignore[union-attr]
+            ]
+            result = node(la, edges)
+        else:
+            edges = [
+                (edge.label, rec(na, edge.target))
+                for edge in nb.edges  # type: ignore[union-attr]
+            ]
+            result = node(lb, edges)
+        memo[key] = result
+        return result
+
+    return rec(root_a, root_b)

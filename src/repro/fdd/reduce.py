@@ -7,26 +7,33 @@ are merged by unioning their labels).  Reduction shrinks the diagram —
 often dramatically after shaping, which replicates subtrees freely — and
 is the natural preprocessing step before marking and rule generation.
 
-Implementation: bottom-up hash-consing.  Each node gets a canonical
+Implementation: reduction *is* interning.  A
+:class:`~repro.fdd.store.NodeStore` assigns every node a canonical
 signature (decision for terminals; ``(field, ((label, child_id), ...))``
-for internals, with same-child edges merged and the edge list sorted);
-nodes with equal signatures are shared.
+for internals, with same-child edges merged and the edge list sorted) and
+shares nodes with equal signatures — so reducing a diagram is one call to
+:meth:`NodeStore.intern <repro.fdd.store.NodeStore.intern>`.  Diagrams
+built by the fast engine (:func:`repro.fdd.fast.construct_fdd_fast`) come
+out of a store and are already reduced; this entry point exists for the
+mutable-tree reference pipeline, whose shaping phase replicates freely.
 """
 
 from __future__ import annotations
 
 from repro.fdd.fdd import FDD
-from repro.fdd.node import Edge, InternalNode, Node, TerminalNode
+from repro.fdd.store import NodeStore
 
 __all__ = ["reduce_fdd"]
 
 
-def reduce_fdd(fdd: FDD) -> FDD:
+def reduce_fdd(fdd: FDD, *, store: NodeStore | None = None) -> FDD:
     """Return a new, maximally-shared FDD equivalent to ``fdd``.
 
     The input is not modified.  Equivalent subgraphs become a single
     shared node; parallel edges to the same child are merged by unioning
-    their interval-set labels.
+    their interval-set labels.  Pass ``store`` to intern into an existing
+    :class:`~repro.fdd.store.NodeStore` (sharing nodes with everything
+    else in that store); by default a private store backs the result.
 
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
@@ -37,45 +44,5 @@ def reduce_fdd(fdd: FDD) -> FDD:
     >>> fdd = reduce_fdd(construct_fdd(fw))
     >>> fdd.validate()
     """
-    unique: dict[object, Node] = {}
-    signature_of: dict[int, object] = {}
-
-    def intern(node: Node) -> Node:
-        found_sig = signature_of.get(id(node))
-        if found_sig is not None:
-            return unique[found_sig]
-        if isinstance(node, TerminalNode):
-            sig: object = ("t", node.decision)
-            made: Node = unique.get(sig) or TerminalNode(node.decision)
-        else:
-            # Merge edges that (after interning) share a target.
-            merged: dict[int, list] = {}
-            order: list[int] = []
-            for edge in node.edges:
-                child = intern(edge.target)
-                key = id(child)
-                if key in merged:
-                    merged[key][0] = merged[key][0] | edge.label
-                else:
-                    merged[key] = [edge.label, child]
-                    order.append(key)
-            parts = [(merged[key][0], merged[key][1]) for key in order]
-            parts.sort(key=lambda item: item[0].min())
-            sig = (
-                "i",
-                node.field_index,
-                tuple((label, id(child)) for label, child in parts),
-            )
-            existing = unique.get(sig)
-            if existing is not None:
-                made = existing
-            else:
-                fresh = InternalNode(node.field_index)
-                for label, child in parts:
-                    fresh.edges.append(Edge(label, child))
-                made = fresh
-        unique.setdefault(sig, made)
-        signature_of[id(node)] = sig
-        return unique[sig]
-
-    return FDD(fdd.schema, intern(fdd.root))
+    store = store or NodeStore()
+    return FDD(fdd.schema, store.intern(fdd.root))

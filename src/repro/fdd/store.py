@@ -1,0 +1,455 @@
+"""The shared hash-consed node store: one core for both FDD engines.
+
+Every scalable algorithm in the library (fast construction, reduction,
+canonicalization, the product comparison, the sharded parallel engine)
+rests on the same two ideas:
+
+* **Interning** — nodes are unique per structural signature (decision for
+  terminals; ``(field, ((label, child), ...))`` for internals), so equal
+  subgraphs are the *same object* and structural equality is an ``id``
+  comparison;
+* **Memoization keyed by identity** — with interning in place, per-store
+  memo tables over node ids make appending a rule, taking a product, or
+  relabelling terminals linear in *shared* nodes instead of paths.
+
+:class:`NodeStore` owns both: the interval-label kernel (interned
+:class:`~repro.intervals.IntervalSet` labels plus an LRU-bounded pairwise
+algebra memo), the node tables, and the algorithm memo tables (append,
+product, terminal relabelling).  The store keeps every interned object
+alive, so ``id``-based memo keys can never be silently reused while the
+store exists.
+
+Nodes handed out by a store are *shared and immutable by convention*:
+mutating them corrupts the signature tables.  The mutable-tree reference
+pipeline (:mod:`repro.fdd.construction` and friends) copies before
+mutating, so store-backed diagrams can flow into it safely.
+
+The store also carries guard-integrated accounting: ``nodes_created`` /
+``edges_created`` count real allocations (interning hits are free), and
+an optional store-level :class:`~repro.guard.GuardContext` ticks one node
+per allocation — used by interning workloads such as
+:func:`repro.fdd.reduce.reduce_fdd` that have no per-visit guard of their
+own.  Traversal-heavy algorithms (construction, product walks) instead
+tick their per-call guards once per *visit*, which is the budget currency
+the rest of the library uses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.guard import GuardContext
+from repro.intervals import IntervalSet
+from repro.policy.decision import Decision
+from repro.policy.firewall import Firewall
+from repro.fdd.fdd import FDD
+from repro.fdd.node import Edge, InternalNode, Node, TerminalNode
+
+__all__ = ["NodeStore", "PAIRWISE_MEMO_LIMIT", "APPEND_MEMO_LIMIT"]
+
+
+#: Default bound on the pairwise interval-operation memo (LRU entries).
+#: Keys are ``(op, id, id)`` triples over *interned* sets, so each entry
+#: is three machine words plus the interned result reference.
+PAIRWISE_MEMO_LIMIT = 1 << 16
+
+#: Bound on the per-store append memo.  Entries accumulate across rules
+#: (that is what makes re-appending an identical rule to an identical
+#: node free), but a multi-thousand-rule construction must not retain
+#: every per-rule walk forever; past the limit the table is dropped and
+#: rebuilt, which only costs re-computation, never correctness.
+APPEND_MEMO_LIMIT = 1 << 17
+
+#: Op tags for the pairwise memo keys (smaller than strings to hash).
+_OP_AND, _OP_SUB, _OP_OR = 1, 2, 3
+
+
+class NodeStore:
+    """Interns FDD nodes — and their interval-set labels — by structure.
+
+    Terminals intern by decision; internal nodes by
+    ``(field, ((label, id(child)), ...))`` with the edge list sorted by
+    label minimum.  Because children are interned before parents, equal
+    subgraphs always resolve to the *same object*, making structural
+    equality an ``id`` comparison — the property the memoized algorithms
+    rely on.
+
+    :class:`~repro.intervals.IntervalSet` labels get the same treatment
+    (:meth:`intern_set`): equal labels resolve to one pointer-stable
+    instance, which makes an LRU-bounded pairwise memo over
+    :meth:`intersect` / :meth:`subtract` / :meth:`union` sound — keys are
+    ``id`` pairs, and interned instances are kept alive by the store, so
+    an id can never be silently reused while the store exists.  The same
+    few label pairs are intersected over and over during construction and
+    the product walk (every shared subtree replays its edge algebra), so
+    the memo converts the interval sweeps of the hot loop into dict hits.
+
+    On top of the tables the store offers the shared node algebra:
+    :meth:`chain` / :meth:`append` / :meth:`construct` (functional rule
+    appending — the fast construction engine), :meth:`intern` (recursive
+    interning of an external diagram — reduction), and
+    :meth:`map_terminals` (memoized terminal relabelling).  The product
+    caches (:attr:`pair_table` / :attr:`pair_memo`) are used by
+    :func:`repro.fdd.fast.build_difference`, so repeated products over
+    one store — e.g. the shards of :mod:`repro.parallel` — share every
+    repeated sub-product.
+    """
+
+    def __init__(
+        self,
+        *,
+        memo_limit: int = PAIRWISE_MEMO_LIMIT,
+        guard: GuardContext | None = None,
+    ) -> None:
+        self._terminals: dict[Decision, TerminalNode] = {}
+        self._internals: dict[tuple, InternalNode] = {}
+        #: ids of nodes this store handed out (fast ownership test; the
+        #: nodes are kept alive by the tables, so ids are stable).
+        self._owned: set[int] = set()
+        #: set -> the canonical (interned) instance for that value content.
+        self._sets: dict[IntervalSet, IntervalSet] = {}
+        #: (op, id(a), id(b)) -> interned result, LRU-bounded.
+        self._op_memo: OrderedDict[tuple[int, int, int], IntervalSet] = (
+            OrderedDict()
+        )
+        self._memo_limit = max(1, memo_limit)
+        #: (id(node), rule_key) -> appended node (see :meth:`append`).
+        self._append_memo: dict[tuple, Node] = {}
+        #: (id(node), relabel table) -> relabelled node.
+        self._relabel_memo: dict[tuple, Node] = {}
+        #: Product-walk caches for :func:`repro.fdd.fast.build_difference`:
+        #: structural signature -> product node, and (id, id) pair -> result.
+        self.pair_table: dict = {}
+        self.pair_memo: dict = {}
+        #: Optional store-level guard: ticks one node per *allocation*.
+        #: Set it for interning workloads (reduce) that have no per-visit
+        #: guard; leave it ``None`` under construction/product guards,
+        #: which tick per visit themselves.
+        self.guard = guard
+        #: Real allocations (interning hits do not count).
+        self.nodes_created = 0
+        self.edges_created = 0
+
+    # ------------------------------------------------------------------
+    # Interval kernel: interning + memoized pairwise algebra
+    # ------------------------------------------------------------------
+    def intern_set(self, values: IntervalSet) -> IntervalSet:
+        """The canonical instance holding ``values``'s value content.
+
+        Identical labels become pointer-equal; the returned instance is
+        kept alive by the store, so its ``id`` is a stable memo key.
+        """
+        found = self._sets.get(values)
+        if found is None:
+            self._sets[values] = values
+            return values
+        return found
+
+    def _memo_put(self, key: tuple[int, int, int], result: IntervalSet) -> None:
+        memo = self._op_memo
+        memo[key] = result
+        if len(memo) > self._memo_limit:
+            memo.popitem(last=False)
+
+    def intersect(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
+        """Memoized ``a & b`` over interned operands (commutative key)."""
+        a = self.intern_set(a)
+        b = self.intern_set(b)
+        ia, ib = id(a), id(b)
+        key = (_OP_AND, ia, ib) if ia <= ib else (_OP_AND, ib, ia)
+        found = self._op_memo.get(key)
+        if found is not None:
+            self._op_memo.move_to_end(key)
+            return found
+        result = self.intern_set(a.intersect(b))
+        self._memo_put(key, result)
+        return result
+
+    def subtract(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
+        """Memoized ``a - b`` over interned operands."""
+        a = self.intern_set(a)
+        b = self.intern_set(b)
+        key = (_OP_SUB, id(a), id(b))
+        found = self._op_memo.get(key)
+        if found is not None:
+            self._op_memo.move_to_end(key)
+            return found
+        result = self.intern_set(a.subtract(b))
+        self._memo_put(key, result)
+        return result
+
+    def union(self, a: IntervalSet, b: IntervalSet) -> IntervalSet:
+        """Memoized ``a | b`` over interned operands (commutative key)."""
+        a = self.intern_set(a)
+        b = self.intern_set(b)
+        ia, ib = id(a), id(b)
+        key = (_OP_OR, ia, ib) if ia <= ib else (_OP_OR, ib, ia)
+        found = self._op_memo.get(key)
+        if found is not None:
+            self._op_memo.move_to_end(key)
+            return found
+        result = self.intern_set(a.union(b))
+        self._memo_put(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Node interning
+    # ------------------------------------------------------------------
+    def terminal(self, decision: Decision) -> TerminalNode:
+        """The unique terminal node for ``decision``."""
+        found = self._terminals.get(decision)
+        if found is None:
+            found = TerminalNode(decision)
+            self._terminals[decision] = found
+            self._owned.add(id(found))
+            self.nodes_created += 1
+            if self.guard is not None:
+                self.guard.tick_nodes()
+        return found
+
+    def internal(
+        self, field_index: int, edges: Sequence[tuple[IntervalSet, Node]]
+    ) -> Node:
+        """The unique internal node with the given (merged) edges.
+
+        Edges pointing at the same child are merged by unioning labels.
+        Single-child nodes are *kept* (not collapsed into the child): the
+        construction algorithm's partial FDDs rely on every field being
+        present on every path, exactly as in the reference implementation.
+        """
+        merged: dict[int, list] = {}
+        order: list[int] = []
+        for label, child in edges:
+            key = id(child)
+            if key in merged:
+                merged[key][0] = self.union(merged[key][0], label)
+            else:
+                merged[key] = [self.intern_set(label), child]
+                order.append(key)
+        parts = sorted(
+            ((merged[key][0], merged[key][1]) for key in order),
+            key=lambda item: item[0].min(),
+        )
+        signature = (field_index, tuple((id(label), id(child)) for label, child in parts))
+        found = self._internals.get(signature)
+        if found is None:
+            node = InternalNode(field_index)
+            for label, child in parts:
+                node.edges.append(Edge(label, child))
+            self._internals[signature] = node
+            self._owned.add(id(node))
+            self.nodes_created += 1
+            self.edges_created += len(node.edges)
+            if self.guard is not None:
+                self.guard.tick_nodes()
+            found = node
+        return found
+
+    def owns(self, node: Node) -> bool:
+        """True when ``node`` was interned by (and is kept alive by) this
+        store, so identity comparisons against other store nodes are
+        meaningful."""
+        return id(node) in self._owned
+
+    # ------------------------------------------------------------------
+    # Shared-node algebra
+    # ------------------------------------------------------------------
+    def chain(
+        self,
+        rule_sets: Sequence[IntervalSet],
+        decision: Decision,
+        index: int = 0,
+    ) -> Node:
+        """The one-path partial FDD of a rule suffix, fully interned.
+
+        The store-backed counterpart of
+        :func:`repro.fdd.construction.build_decision_path`: a chain of
+        internal nodes for fields ``index .. d-1`` ending in the decision
+        terminal.
+        """
+        node: Node = self.terminal(decision)
+        for i in range(len(rule_sets) - 1, index - 1, -1):
+            node = self.internal(i, [(rule_sets[i], node)])
+        return node
+
+    def append(
+        self,
+        node: Node,
+        rule_sets: Sequence[IntervalSet],
+        decision: Decision,
+        *,
+        guard: GuardContext | None = None,
+    ) -> Node:
+        """Functionally append one rule to a partial FDD rooted at ``node``.
+
+        The store-backed counterpart of the paper's APPEND (Fig. 7):
+        returns the interned root of the diagram with the rule appended,
+        leaving ``node`` untouched.  Because interning makes structural
+        equality identity, the result *is* ``node`` itself **iff** the
+        rule adds no decision path — i.e. every packet matching the rule
+        was already decided by earlier rules (the rule is ineffective).
+        :mod:`repro.analysis.effective` decides effectiveness with
+        exactly this identity test.
+
+        Memoized per ``(node, rule)`` in a per-store table, so shared
+        subtrees are processed once per rule, and re-appending an
+        identical rule to an identical node (across calls) is free.
+        ``guard`` ticks one node per visit, mirroring the reference
+        construction's budget currency.
+        """
+        rule_sets = tuple(self.intern_set(s) for s in rule_sets)
+        rule_key = (tuple(id(s) for s in rule_sets), decision)
+        num_fields = len(rule_sets)
+        memo = self._append_memo
+        if len(memo) > APPEND_MEMO_LIMIT:
+            memo.clear()
+
+        def rec(node: Node, index: int) -> Node:
+            if guard is not None:
+                guard.tick_nodes()
+            if isinstance(node, TerminalNode):
+                return node
+            key = (id(node), rule_key)
+            found = memo.get(key)
+            if found is not None:
+                return found
+            rule_set = rule_sets[index]
+            new_edges: list[tuple[IntervalSet, Node]] = []
+            covered = IntervalSet.empty()
+            for edge in node.edges:
+                common = self.intersect(edge.label, rule_set)
+                covered = self.union(covered, edge.label)
+                if common.is_empty():
+                    new_edges.append((edge.label, edge.target))
+                    continue
+                outside = self.subtract(edge.label, common)
+                if not outside.is_empty():
+                    new_edges.append((outside, edge.target))
+                new_edges.append((common, rec(edge.target, index + 1)))
+            uncovered = self.subtract(rule_set, covered)
+            if not uncovered.is_empty():
+                if index + 1 == num_fields:
+                    target: Node = self.terminal(decision)
+                else:
+                    target = self.chain(rule_sets, decision, index + 1)
+                new_edges.append((uncovered, target))
+            result = self.internal(node.field_index, new_edges)
+            memo[key] = result
+            return result
+
+        return rec(node, 0)
+
+    def construct(
+        self, firewall: Firewall, *, guard: GuardContext | None = None
+    ) -> FDD:
+        """Build the firewall's maximally-shared ordered FDD in this store.
+
+        The engine behind :func:`repro.fdd.fast.construct_fdd_fast`:
+        chain the first rule, then functionally :meth:`append` the rest.
+        Because every node is interned, the output is *already reduced*
+        (no two distinct isomorphic subgraphs, no parallel edges to one
+        child) — it is the canonical reduced ordered FDD of the policy.
+        """
+        rules = firewall.rules
+        first = rules[0]
+        root = self.chain(
+            tuple(self.intern_set(s) for s in first.predicate.sets),
+            first.decision,
+        )
+        for rule in rules[1:]:
+            if guard is not None:
+                guard.checkpoint("fast.rule")
+            root = self.append(
+                root, rule.predicate.sets, rule.decision, guard=guard
+            )
+        return FDD(firewall.schema, root)
+
+    def intern(self, root: Node) -> Node:
+        """Intern an external diagram: the maximally-shared equal subgraph.
+
+        Recursively rebuilds ``root``'s subgraph out of store nodes;
+        isomorphic subgraphs collapse to one shared node and parallel
+        edges to one child merge — this *is* FDD reduction
+        (:func:`repro.fdd.reduce.reduce_fdd` delegates here).  Idempotent
+        and O(1) on nodes the store already owns.  The input is not
+        modified.
+        """
+        if id(root) in self._owned:
+            return root
+        # External node ids are only stable for the duration of this call
+        # (nothing keeps the input alive afterwards), so the walk memo is
+        # per-call; owned-node ids are stable and short-circuit above.
+        interned_by_id: dict[int, Node] = {}
+
+        def rec(node: Node) -> Node:
+            if id(node) in self._owned:
+                return node
+            found = interned_by_id.get(id(node))
+            if found is not None:
+                return found
+            if isinstance(node, TerminalNode):
+                made: Node = self.terminal(node.decision)
+            else:
+                made = self.internal(
+                    node.field_index,
+                    [(edge.label, rec(edge.target)) for edge in node.edges],
+                )
+            interned_by_id[id(node)] = made
+            return made
+
+        return rec(root)
+
+    def map_terminals(
+        self, root: Node, mapping: dict[Decision, Decision]
+    ) -> Node:
+        """A shared diagram with terminal decisions rewritten by ``mapping``.
+
+        Decisions absent from ``mapping`` are kept.  Memoized per
+        ``(node, mapping)`` in a per-store table (label algebra of the
+        negated/relabelled diagram is untouched, so the rewrite is linear
+        in shared nodes); external inputs are interned first.
+        """
+        root = self.intern(root)
+        table = tuple(sorted(mapping.items(), key=lambda kv: kv[0].name))
+        memo = self._relabel_memo
+
+        def rec(node: Node) -> Node:
+            key = (id(node), table)
+            found = memo.get(key)
+            if found is not None:
+                return found
+            if isinstance(node, TerminalNode):
+                made: Node = self.terminal(mapping.get(node.decision, node.decision))
+            else:
+                made = self.internal(
+                    node.field_index,
+                    [(edge.label, rec(edge.target)) for edge in node.edges],
+                )
+            memo[key] = made
+            return made
+
+        return rec(root)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Allocation and table-size counters (bench and guard reports)."""
+        return {
+            "nodes_created": self.nodes_created,
+            "edges_created": self.edges_created,
+            "terminals": len(self._terminals),
+            "internals": len(self._internals),
+            "interned_sets": len(self._sets),
+            "op_memo": len(self._op_memo),
+            "append_memo": len(self._append_memo),
+            "pair_memo": len(self.pair_memo),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<NodeStore {len(self._internals)} internals,"
+            f" {len(self._terminals)} terminals,"
+            f" {len(self._sets)} interned sets>"
+        )

@@ -11,6 +11,7 @@ hashing, and the sweep-based set operations below both simple and fast.
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable, Iterator, Sequence
 
 from repro.exceptions import IntervalError
@@ -270,6 +271,31 @@ class IntervalSet:
             else:
                 out.append(nxt)
         return IntervalSet._from_canonical(tuple(out))
+
+    @classmethod
+    def union_all(cls, sets: Iterable["IntervalSet"]) -> "IntervalSet":
+        """The union of many sets via one linear k-way merge sweep.
+
+        Folding ``k`` sets with repeated binary unions costs
+        O(k * total_intervals); merging all canonical interval lists in a
+        single :func:`heapq.merge` sweep with on-the-fly coalescing costs
+        O(total_intervals * log k) — the difference matters for wide FDD
+        nodes (``InternalNode.covered``) and multi-set label algebra.
+        """
+        lists = [s._intervals for s in sets if s._intervals]
+        if not lists:
+            return _EMPTY
+        if len(lists) == 1:
+            return cls._from_canonical(lists[0])
+        out: list[Interval] = []
+        for nxt in heapq.merge(*lists, key=lambda iv: iv.lo):
+            if out and nxt.lo <= out[-1].hi + 1:
+                last = out[-1]
+                if nxt.hi > last.hi:
+                    out[-1] = Interval(last.lo, nxt.hi)
+            else:
+                out.append(nxt)
+        return cls._from_canonical(tuple(out))
 
     def intersect(self, other: "IntervalSet") -> "IntervalSet":
         """Return the set intersection via a two-pointer sweep."""

@@ -15,15 +15,29 @@ results merge by *addition*:
 * node/path counts sum (as per-shard structural totals; cross-shard
   sharing is intentionally given up for parallelism).
 
-Shards fan out over worker **processes** (``multiprocessing``; fork and
-spawn both supported — everything crossing the pipe is a plain picklable
-value: firewalls, budgets, fault injectors, never FDD node graphs).
+Execution has two modes sharing one merge path:
+
+* **Inline** (``inline=True``, and any single-shard run): both firewalls
+  are constructed **once** into one shared
+  :class:`~repro.fdd.store.NodeStore`, and each shard's difference is
+  built by restricting the full diagram's field-0 edges to the shard
+  (:func:`_restrict_root`) — no per-shard re-interning, and the store's
+  persistent product caches share every repeated sub-product across
+  shards.  Restriction is sound because the hash-consed construction
+  output is the unique reduced diagram of the policy: slicing its root
+  edges yields exactly the diagram a per-shard reconstruction would
+  build.
+* **Process fan-out** (``inline=False``): shards cross the pipe as plain
+  picklable values (firewalls restricted by :func:`restrict_to_shard`,
+  budgets, fault injectors — never FDD node graphs), and each worker
+  interns into its own store.
 
 Guard budgets (PR 1) propagate: each worker receives the parent's
 *remaining* budget (deadline already discounted by elapsed dispatch
 time), spends under its own :class:`~repro.guard.GuardContext`, and the
 parent re-ticks every shard's spend on merge so the *aggregate* is
-enforced against the original budget.  The first
+enforced against the original budget — in inline mode the one-time
+construction spend lands on the parent directly.  The first
 :class:`~repro.exceptions.BudgetExceededError` (or any worker error)
 terminates the remaining shards before re-raising.
 """
@@ -44,6 +58,8 @@ from repro.fdd.fast import (
     build_difference,
     construct_fdd_fast,
 )
+from repro.fdd.fdd import FDD
+from repro.fdd.node import InternalNode
 from repro.fields import FieldSchema
 from repro.guard import Budget, FaultInjector, GuardContext
 from repro.intervals import IntervalSet
@@ -260,6 +276,102 @@ def _execute_shard(task: _ShardTask) -> ShardResult:
     )
 
 
+def _rules_overlapping(firewall: Firewall, shard: IntervalSet) -> int:
+    """How many rules can match a packet whose field 0 lies in ``shard``
+    (= the rule count :func:`restrict_to_shard` would keep)."""
+    return sum(
+        1
+        for rule in firewall.rules
+        if not rule.predicate.sets[0].intersect(shard).is_empty()
+    )
+
+
+def _restrict_root(root, shard: IntervalSet, store: HashConsStore):
+    """The full difference input restricted to a field-0 shard, in-store.
+
+    Slices the root's field-0 edges to the shard (dropping edges that
+    miss it) and reuses the *shared* children unchanged.  Because the
+    hash-consed construction output is the unique reduced ordered
+    diagram of the policy, this produces exactly the diagram a per-shard
+    reconstruction from :func:`restrict_to_shard` would build — without
+    re-interning anything.
+    """
+    if not isinstance(root, InternalNode) or root.field_index != 0:
+        return root  # field 0 absent: semantics do not depend on it
+    edges = []
+    for edge in root.edges:
+        sliced = store.intersect(edge.label, shard)
+        if not sliced.is_empty():
+            edges.append((sliced, edge.target))
+    return store.internal(0, edges)
+
+
+def _execute_shards_shared(
+    fw_a: Firewall,
+    fw_b: Firewall,
+    shards: list[IntervalSet],
+    *,
+    budget: Budget | None,
+    fault: FaultInjector | None,
+    enumerate_discrepancies: bool,
+    discrepancy_limit: int | None,
+) -> tuple[GuardContext | None, dict, list[ShardResult]]:
+    """Inline shard execution over one shared store.
+
+    Constructs both FDDs once (spend lands on the parent guard), then
+    builds each shard's difference from the restricted roots, with the
+    store's persistent product caches shared across shards.  Returns the
+    parent guard, its construction-phase spend, and per-shard results
+    whose ``progress`` carries only the shard's own (product-walk)
+    spend — the caller's merge loop re-ticks those against the parent.
+    """
+    parent = None
+    if budget is not None or fault is not None:
+        parent = GuardContext(
+            budget if budget is not None else Budget.unlimited(), fault=fault
+        )
+    store = HashConsStore()
+    fdd_a = construct_fdd_fast(fw_a, store, guard=parent)
+    fdd_b = construct_fdd_fast(fw_b, store, guard=parent)
+    construction = parent.progress() if parent is not None else {}
+    schema = fw_a.schema
+    results: list[ShardResult] = []
+    for index, shard in enumerate(shards):
+        child = None
+        if parent is not None:
+            child = GuardContext(parent.remaining_budget(), fault=fault)
+        start = time.perf_counter()
+        diff = build_difference(
+            FDD(schema, _restrict_root(fdd_a.root, shard, store)),
+            FDD(schema, _restrict_root(fdd_b.root, shard, store)),
+            guard=child,
+            store=store,
+        )
+        diff = _anchor_to_shard(diff, shard)
+        by_decisions = diff.disputed_by_decisions()
+        discrepancies = None
+        if enumerate_discrepancies:
+            discrepancies = tuple(
+                diff.discrepancies(limit=discrepancy_limit, guard=child)
+            )
+        results.append(
+            ShardResult(
+                shard_index=index,
+                shard=shard,
+                disputed_packets=sum(by_decisions.values()),
+                by_decisions=by_decisions,
+                node_count=diff.node_count(),
+                path_count=diff.path_count(),
+                rules_a=_rules_overlapping(fw_a, shard),
+                rules_b=_rules_overlapping(fw_b, shard),
+                discrepancies=discrepancies,
+                progress=child.progress() if child is not None else {},
+                elapsed_ms=(time.perf_counter() - start) * 1000.0,
+            )
+        )
+    return parent, construction, results
+
+
 @dataclass(frozen=True)
 class _PairTask:
     """One (i, j) team pair for the concurrent cross comparison."""
@@ -397,6 +509,10 @@ class ParallelComparison:
     #: The parent guard's outcome record (budget, aggregated spend), or
     #: ``None`` for unguarded runs.
     outcome: dict | None
+    #: Guard spend of the one-time shared-store construction phase
+    #: (inline mode only; empty for process fan-out, where each worker
+    #: constructs — and accounts — its own restricted diagrams).
+    construction: dict = field(default_factory=dict)
 
     def equivalent(self) -> bool:
         """True when the two policies agree on every packet."""
@@ -454,36 +570,51 @@ def compare_sharded(
 
     :func:`compare_parallel` is this plus automatic shard planning.
     ``inline=True`` (the default here) executes shards sequentially in
-    the calling process — identical math, no pickling, deterministic —
-    which is what the property tests exercise; pass ``inline=False`` to
-    fan out across ``jobs`` processes.
+    the calling process over **one shared node store** — both policies
+    are constructed once and each shard's difference is built from the
+    restricted roots; identical math, no pickling, deterministic — which
+    is what the property tests exercise.  Pass ``inline=False`` to fan
+    out across ``jobs`` processes, each re-interning its restricted
+    slice.
     """
     if fw_a.schema != fw_b.schema:
         raise SchemaError("cannot compare firewalls over different field schemas")
-    parent = GuardContext(budget) if budget is not None else None
-    tasks = []
-    for index, shard in enumerate(shards):
-        tasks.append(
-            _ShardTask(
-                shard_index=index,
-                shard=shard,
-                fw_a=restrict_to_shard(fw_a, shard),
-                fw_b=restrict_to_shard(fw_b, shard),
-                budget=parent.remaining_budget() if parent is not None else None,
-                fault=fault,
-                enumerate_discrepancies=enumerate_discrepancies,
-                discrepancy_limit=discrepancy_limit,
-            )
+    construction: dict = {}
+    if inline or len(shards) <= 1:
+        parent, construction, results = _execute_shards_shared(
+            fw_a,
+            fw_b,
+            shards,
+            budget=budget,
+            fault=fault,
+            enumerate_discrepancies=enumerate_discrepancies,
+            discrepancy_limit=discrepancy_limit,
         )
-    results = _run_fanout(
-        _execute_shard,
-        tasks,
-        jobs=jobs,
-        start_method=start_method,
-        inline=inline,
-        guard=parent,
-    )
-    results.sort(key=lambda result: result.shard_index)
+    else:
+        parent = GuardContext(budget) if budget is not None else None
+        tasks = []
+        for index, shard in enumerate(shards):
+            tasks.append(
+                _ShardTask(
+                    shard_index=index,
+                    shard=shard,
+                    fw_a=restrict_to_shard(fw_a, shard),
+                    fw_b=restrict_to_shard(fw_b, shard),
+                    budget=parent.remaining_budget() if parent is not None else None,
+                    fault=fault,
+                    enumerate_discrepancies=enumerate_discrepancies,
+                    discrepancy_limit=discrepancy_limit,
+                )
+            )
+        results = _run_fanout(
+            _execute_shard,
+            tasks,
+            jobs=jobs,
+            start_method=start_method,
+            inline=inline,
+            guard=parent,
+        )
+        results.sort(key=lambda result: result.shard_index)
 
     disputed = 0
     by_decisions: dict[tuple[Decision, Decision], int] = {}
@@ -518,6 +649,7 @@ def compare_sharded(
         path_count=paths,
         discrepancies=tuple(cells) if enumerate_discrepancies else None,
         outcome=parent.outcome() if parent is not None else None,
+        construction=construction,
     )
 
 

@@ -1,0 +1,140 @@
+"""fold / product_fold: visit discipline and agreement with the engines."""
+
+from repro.fields import toy_schema
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+from repro.fdd.fast import compare_fast, construct_fdd_fast
+from repro.fdd.node import TerminalNode, iter_nodes
+from repro.fdd.passes import fold, product_fold
+from repro.fdd.store import NodeStore
+
+SCHEMA = toy_schema(9, 9)
+
+
+def shared_fdd():
+    fw = Firewall(
+        SCHEMA,
+        [
+            Rule.build(SCHEMA, DISCARD, F1=(2, 4)),
+            Rule.build(SCHEMA, DISCARD, F1=(6, 8)),
+            Rule.build(SCHEMA, ACCEPT),
+        ],
+    )
+    return fw, construct_fdd_fast(fw)
+
+
+class TestFold:
+    def test_visits_each_shared_node_exactly_once(self):
+        _, fdd = shared_fdd()
+        visits: list[int] = []
+
+        def terminal(node):
+            visits.append(id(node))
+            return 1
+
+        def internal(node, child_values):
+            visits.append(id(node))
+            return sum(child_values)
+
+        fold(fdd.root, terminal=terminal, internal=internal)
+        assert len(visits) == len(set(visits))
+        assert len(visits) == len(list(iter_nodes(fdd.root)))
+
+    def test_path_count_fold_matches_fdd_count_paths(self):
+        _, fdd = shared_fdd()
+        paths = fold(
+            fdd.root,
+            terminal=lambda node: 1,
+            internal=lambda node, childs: sum(childs),
+        )
+        assert paths == fdd.count_paths()
+
+    def test_shared_memo_carries_across_roots(self):
+        store = NodeStore()
+        fw_a = Firewall(
+            SCHEMA,
+            [Rule.build(SCHEMA, DISCARD, F1=(2, 4)), Rule.build(SCHEMA, ACCEPT)],
+        )
+        fw_b = Firewall(
+            SCHEMA,
+            [Rule.build(SCHEMA, DISCARD, F1=(2, 5)), Rule.build(SCHEMA, ACCEPT)],
+        )
+        root_a = construct_fdd_fast(fw_a, store).root
+        root_b = construct_fdd_fast(fw_b, store).root
+        memo: dict[int, int] = {}
+        fold(
+            root_a,
+            terminal=lambda n: 1,
+            internal=lambda n, c: sum(c),
+            memo=memo,
+        )
+        before = set(memo)
+        fold(
+            root_b,
+            terminal=lambda n: 1,
+            internal=lambda n, c: sum(c),
+            memo=memo,
+        )
+        # The two diagrams share subgraphs in one store; the second fold
+        # reuses (not recomputes) the shared entries.
+        assert before & set(memo) == before
+
+
+class TestProductFold:
+    def test_agrees_with_compare_fast_on_disputed_count(self):
+        store = NodeStore()
+        fw_a = Firewall(SCHEMA, [Rule.build(SCHEMA, ACCEPT)])
+        fw_b = Firewall(
+            SCHEMA,
+            [Rule.build(SCHEMA, DISCARD, F1=(2, 4)), Rule.build(SCHEMA, ACCEPT)],
+        )
+        root_a = construct_fdd_fast(fw_a, store).root
+        root_b = construct_fdd_fast(fw_b, store).root
+
+        def leaf(na: TerminalNode, nb: TerminalNode) -> int:
+            return 1 if na.decision != nb.decision else 0
+
+        def node(field: int, edges: list) -> int:
+            # Weighted model count; both inputs keep every field on every
+            # path, so no domain-gap correction is needed here.
+            return sum(label.count() * child for label, child in edges)
+
+        disputed = product_fold(
+            root_a,
+            root_b,
+            len(SCHEMA),
+            intersect=store.intersect,
+            leaf=leaf,
+            node=node,
+        )
+        assert disputed == compare_fast(fw_a, fw_b).disputed_packet_count()
+
+    def test_visit_hook_sees_every_pair_arrival(self):
+        store = NodeStore()
+        fw_a = Firewall(SCHEMA, [Rule.build(SCHEMA, ACCEPT)])
+        fw_b = Firewall(
+            SCHEMA,
+            [Rule.build(SCHEMA, DISCARD, F1=(2, 4)), Rule.build(SCHEMA, ACCEPT)],
+        )
+        root_a = construct_fdd_fast(fw_a, store).root
+        root_b = construct_fdd_fast(fw_b, store).root
+        arrivals: list[tuple[int, int]] = []
+        memo: dict[tuple[int, int], int] = {}
+
+        def visit(na, nb):
+            arrivals.append((id(na), id(nb)))
+
+        def node(field, edges):
+            return sum(child for _, child in edges)
+
+        product_fold(
+            root_a,
+            root_b,
+            len(SCHEMA),
+            intersect=store.intersect,
+            leaf=lambda a, b: 1,
+            node=node,
+            visit=visit,
+            memo=memo,
+        )
+        # Every expansion was announced; re-arrivals (memo hits) may add more.
+        assert set(memo) <= set(arrivals)

@@ -228,9 +228,11 @@ class TestGuardPropagation:
         )
         assert par.outcome is not None
         assert par.outcome["exhausted"] is None
-        assert par.outcome["nodes_expanded"] == sum(
-            shard.progress["nodes_expanded"] for shard in par.shards
-        )
+        # Inline mode constructs once on the parent guard, then re-ticks
+        # every shard's product-walk spend on merge.
+        assert par.outcome["nodes_expanded"] == par.construction.get(
+            "nodes_expanded", 0
+        ) + sum(shard.progress["nodes_expanded"] for shard in par.shards)
         assert canonical(par.summary()) == canonical(serial_summary(fw_a, fw_b))
 
     def test_injected_fault_trips_like_serial(self):

@@ -1,0 +1,155 @@
+"""Cross-engine agreement: the store engine vs the paper-literal pipeline.
+
+Every store-backed algorithm must agree exactly with its mutable-tree
+reference implementation — the reference *is* the paper's pseudocode, so
+agreement is the correctness argument for the fast engine.  Two layers:
+
+* Hypothesis properties over random firewalls (small schemas, brute-force
+  checkable);
+* deterministic runs over the synthetic corpus
+  (:func:`repro.synth.generate_firewall_pair` + Fig. 12 perturbation),
+  which produces the realistic near-duplicate pairs the fingerprint
+  satellite requires.
+"""
+
+from hypothesis import given, settings
+
+from repro.fields import toy_schema
+from repro.policy import Firewall
+from repro.analysis.effective import effective_rules
+from repro.analysis.equivalence import disputed_packet_count, equivalent
+from repro.analysis.impact import analyze_change
+from repro.fdd.canonical import canonical_fdd, semantic_fingerprint
+from repro.fdd.fast import compare_fast
+from repro.fdd.generation import generate_firewall
+from repro.fdd.marking import mark_fdd, node_load
+from repro.synth import generate_firewall_pair, perturb
+
+from tests.conftest import firewalls
+
+SCHEMA = toy_schema(19, 9)
+
+
+# ----------------------------------------------------------------------
+# The fingerprint satellite: fingerprint equality <=> no discrepancies
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(firewalls(SCHEMA, max_rules=5), firewalls(SCHEMA, max_rules=5))
+def test_fingerprint_equality_iff_no_discrepancies(fw_a, fw_b):
+    same_print = semantic_fingerprint(fw_a) == semantic_fingerprint(fw_b)
+    clean = not compare_fast(fw_a, fw_b).has_discrepancy()
+    assert same_print == clean
+
+
+@settings(max_examples=40, deadline=None)
+@given(firewalls(SCHEMA, max_rules=5, include_log=True))
+def test_fingerprint_engines_agree(fw):
+    assert semantic_fingerprint(fw, engine="fast") == semantic_fingerprint(
+        fw, engine="reference"
+    )
+
+
+def test_fingerprint_on_perturbed_near_duplicates():
+    base, _ = generate_firewall_pair(60, seed=21)
+    for seed in range(5):
+        near, record = perturb(base, 0.1, seed=seed, y=0.5)
+        same_print = semantic_fingerprint(base) == semantic_fingerprint(near)
+        diff = compare_fast(base, near)
+        assert same_print == (not diff.has_discrepancy())
+        # Perturbation that flipped or deleted nothing must fingerprint equal.
+        if not record.flipped and not record.deleted:
+            assert same_print
+
+
+# ----------------------------------------------------------------------
+# Store-backed algorithms vs the reference pipeline (synth corpus)
+# ----------------------------------------------------------------------
+
+
+def _corpus() -> list[tuple[Firewall, Firewall]]:
+    pairs = [generate_firewall_pair(40, seed=s) for s in (3, 7)]
+    base, _ = generate_firewall_pair(50, seed=11)
+    near, _ = perturb(base, 0.2, seed=4, y=0.5)
+    pairs.append((base, near))
+    return pairs
+
+
+def test_canonical_engines_produce_identical_diagrams():
+    for fw_a, fw_b in _corpus():
+        for fw in (fw_a, fw_b):
+            fast = canonical_fdd(fw, engine="fast")
+            ref = canonical_fdd(fw, engine="reference")
+            fast.validate()
+            assert fast.stats() == ref.stats()
+            assert semantic_fingerprint(fw) == semantic_fingerprint(
+                fw, engine="reference"
+            )
+
+
+def test_equivalence_engines_agree_on_corpus():
+    for fw_a, fw_b in _corpus():
+        assert equivalent(fw_a, fw_b) == equivalent(fw_a, fw_b, engine="reference")
+        assert disputed_packet_count(fw_a, fw_b) == disputed_packet_count(
+            fw_a, fw_b, engine="reference"
+        )
+        assert equivalent(fw_a, fw_a)
+
+
+def test_effective_engines_agree_on_corpus():
+    for fw_a, fw_b in _corpus():
+        for fw in (fw_a, fw_b):
+            fast = effective_rules(fw)
+            ref = effective_rules(fw, engine="reference")
+            assert fast.rules == ref.rules
+            assert fast.decisions_taken == ref.decisions_taken
+
+
+def test_impact_engines_agree_on_corpus():
+    for fw_a, fw_b in _corpus():
+        fast = analyze_change(fw_a, fw_b)
+        ref = analyze_change(fw_a, fw_b, engine="reference")
+        assert fast.affected_packets() == ref.affected_packets()
+        # Cell decompositions may differ between engines; the per-kind
+        # packet volumes are the semantic quantity and must match exactly.
+        fast_kinds = {
+            kind: sum(d.size() for d in discs)
+            for kind, discs in fast.by_kind().items()
+        }
+        ref_kinds = {
+            kind: sum(d.size() for d in discs)
+            for kind, discs in ref.by_kind().items()
+        }
+        assert fast_kinds == ref_kinds
+
+
+def test_impact_jobs_path_agrees_with_serial():
+    fw_a, fw_b = generate_firewall_pair(40, seed=3)
+    serial = analyze_change(fw_a, fw_b)
+    sharded = analyze_change(fw_a, fw_b, jobs=1)
+    assert sharded.affected_packets() == serial.affected_packets()
+
+
+def test_marking_and_generation_round_trip_on_store_diagrams():
+    for fw_a, _ in _corpus():
+        canon = canonical_fdd(fw_a)
+        marking = mark_fdd(canon)
+        assert node_load(canon.root, marking) >= 1
+        regenerated = generate_firewall(canon, compact=False)
+        assert equivalent(fw_a, regenerated)
+
+
+@settings(max_examples=40, deadline=None)
+@given(firewalls(SCHEMA, max_rules=4, include_log=True))
+def test_effective_engines_agree_property(fw):
+    fast = effective_rules(fw)
+    ref = effective_rules(fw, engine="reference")
+    assert fast.rules == ref.rules
+    assert fast.decisions_taken == ref.decisions_taken
+
+
+@settings(max_examples=40, deadline=None)
+@given(firewalls(SCHEMA, max_rules=4), firewalls(SCHEMA, max_rules=4))
+def test_equivalence_engines_agree_property(fw_a, fw_b):
+    assert equivalent(fw_a, fw_b) == equivalent(fw_a, fw_b, engine="reference")
