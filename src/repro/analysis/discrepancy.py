@@ -102,6 +102,12 @@ class ComparisonReport:
     sampled_packets: int = 0
     #: The guard's budget outcome (:meth:`GuardContext.outcome`), if any.
     outcome: dict | None = field(default=None, compare=False)
+    #: Degradations recorded by the supervised parallel engine: one
+    #: JSON-safe record per shard that fell back to serial in-parent
+    #: execution (``{"shard", "reason", "retries", "detail"}``).  The
+    #: result stays exact — degradation is a loss of parallelism, not of
+    #: coverage — but it should be visible in reports and exit codes.
+    degradations: tuple = field(default=(), compare=False)
 
     @property
     def exhausted(self) -> str | None:
@@ -127,6 +133,10 @@ class ComparisonReport:
             parts.append(f"{self.sampled_packets} packets sampled")
         if self.exhausted:
             parts.append(f"budget exhausted on {self.exhausted}")
+        if self.degradations:
+            parts.append(
+                f"{len(self.degradations)} shard(s) degraded to serial execution"
+            )
         return "; ".join(parts)
 
 

@@ -51,6 +51,11 @@ class ChangeImpactReport:
     before: Firewall
     after: Firewall
     discrepancies: list[Discrepancy] = field(default_factory=list)
+    #: Supervised-parallel degradation records (``jobs > 1`` only): one
+    #: JSON-safe dict per shard re-run serially after its worker
+    #: dispatches failed.  Empty for serial and fault-free runs; the
+    #: discrepancy list is exact either way.
+    degradations: list[dict] = field(default_factory=list)
 
     @property
     def is_noop(self) -> bool:
@@ -77,6 +82,11 @@ class ChangeImpactReport:
         name_before = self.before.name or "before"
         name_after = self.after.name or "after"
         lines = [f"change impact: {name_before!r} -> {name_after!r}"]
+        if self.degradations:
+            lines.append(
+                f"  note: {len(self.degradations)} comparison shard(s)"
+                " degraded to serial execution (result still exact)"
+            )
         if self.is_noop:
             lines.append("  the change has no semantic effect (policies equivalent)")
             return "\n".join(lines)
@@ -131,6 +141,7 @@ def analyze_change(
     >>> report.is_noop, len(report.by_kind()["newly blocked"])
     (False, 1)
     """
+    degradations: list[dict] = []
     if engine == "reference":
         raw = compare_firewalls(before, after, guard=guard)
     elif jobs is not None and jobs > 1:
@@ -144,7 +155,10 @@ def analyze_change(
             enumerate_discrepancies=True,
         )
         raw = list(par.discrepancies)
+        degradations = par.degradation_report()
     else:
         raw = compare_fast(before, after, guard=guard).discrepancies(guard=guard)
     discs = aggregate_discrepancies(raw) if aggregate else raw
-    return ChangeImpactReport(before=before, after=after, discrepancies=discs)
+    return ChangeImpactReport(
+        before=before, after=after, discrepancies=discs, degradations=degradations
+    )

@@ -36,7 +36,11 @@ Exit codes:
 * ``1`` — discrepancies found (exact result);
 * ``2`` — usage or input error;
 * ``3`` — budget exceeded and no fallback requested;
-* ``4`` — budget exceeded, approximate (sampled) report produced.
+* ``4`` — budget exceeded, approximate (sampled) report produced;
+* ``5`` — correct but degraded: the result is exact and otherwise
+  exit-0, but at least one parallel shard exhausted its retries and was
+  re-executed serially (``--jobs`` runs only; see ``repro chaos`` and
+  ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -67,6 +71,7 @@ __all__ = [
     "EXIT_ERROR",
     "EXIT_BUDGET_EXCEEDED",
     "EXIT_APPROXIMATE",
+    "EXIT_DEGRADED",
 ]
 
 #: Exit codes (documented in docs/robustness.md).
@@ -75,6 +80,7 @@ EXIT_DISCREPANCIES = 1
 EXIT_ERROR = 2
 EXIT_BUDGET_EXCEEDED = 3
 EXIT_APPROXIMATE = 4
+EXIT_DEGRADED = 5
 
 
 def _add_guard_options(sub, *, fallback: bool = True) -> None:
@@ -121,10 +127,12 @@ def _add_jobs_option(sub) -> None:
 def _parallel_discrepancies(fw_a, fw_b, args, budget):
     """The sharded engine behind ``--jobs``, with the fallback interplay.
 
-    Returns ``(discrepancies, approximate, coverage)``.  A budget trip
-    either propagates (exit code 3 via the central handler) or — under
-    ``--approx-fallback`` — degrades to the sampling comparator exactly
-    as the serial path does.
+    Returns ``(discrepancies, approximate, coverage, degradations)``.  A
+    budget trip either propagates (exit code 3 via the central handler)
+    or — under ``--approx-fallback`` — degrades to the sampling
+    comparator exactly as the serial path does.  ``degradations`` lists
+    shards the supervisor re-ran serially after their worker dispatches
+    failed (the result is still exact; exit code 5 when otherwise 0).
     """
     from repro.parallel import compare_parallel
 
@@ -142,8 +150,19 @@ def _parallel_discrepancies(fw_a, fw_b, args, budget):
         from repro.analysis.approximate import approximate_compare
 
         report = approximate_compare(fw_a, fw_b)
-        return list(report.discrepancies), True, report.coverage
-    return list(par.discrepancies), False, 1.0
+        return list(report.discrepancies), True, report.coverage, []
+    return list(par.discrepancies), False, 1.0, par.degradation_report()
+
+
+def _warn_degraded(degradations) -> None:
+    """One stderr line per degraded shard (never pollutes stdout)."""
+    for item in degradations:
+        print(
+            f"warning: shard {item['shard']} degraded to serial execution"
+            f" ({item['reason']} after {item['retries']} attempt(s));"
+            " result is still exact",
+            file=sys.stderr,
+        )
 
 
 def _budget_from_args(args) -> Budget | None:
@@ -284,6 +303,62 @@ def build_parser() -> argparse.ArgumentParser:
         "after", nargs="?", help="when given, audit the change policy->after"
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "run the seeded fault-injection scenarios against the"
+            " supervised parallel engine"
+        ),
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes per scenario run (default: 2)",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=29,
+        metavar="S",
+        help="seed for the scenario policies (default: 29)",
+    )
+    chaos.add_argument(
+        "--rules",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rules per generated policy (default: 10)",
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="run only the named scenario (repeatable; default: all)",
+    )
+    chaos.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        dest="start_method",
+        help="multiprocessing start method (default: platform default)",
+    )
+    chaos.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        dest="json_path",
+        help="also write the full suite report as JSON to PATH",
+    )
+    chaos.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        dest="list_scenarios",
+        help="print the scenario catalogue and exit",
+    )
+
     imp = sub.add_parser(
         "import", help="convert a device config to the policy text format"
     )
@@ -303,10 +378,12 @@ def _cmd_compare(args) -> int:
     budget = _budget_from_args(args)
     approximate = False
     coverage = 1.0
+    degradations = []
     if args.jobs > 1:
-        discs, approximate, coverage = _parallel_discrepancies(
+        discs, approximate, coverage, degradations = _parallel_discrepancies(
             fw_a, fw_b, args, budget
         )
+        _warn_degraded(degradations)
     elif args.approx_fallback:
         report = compare_with_fallback(fw_a, fw_b, budget=budget)
         discs = list(report.discrepancies)
@@ -326,7 +403,7 @@ def _cmd_compare(args) -> int:
             )
             return EXIT_APPROXIMATE
         print("the two policies are semantically equivalent")
-        return EXIT_OK
+        return EXIT_DEGRADED if degradations else EXIT_OK
     title = f"{len(discs)} functional discrepancy region(s)"
     if approximate:
         title += f" (approximate: sampled, coverage ~{coverage:.2e})"
@@ -347,18 +424,23 @@ def _cmd_impact(args) -> int:
     report = analyze_change(
         load(args.before), load(args.after), guard=guard, jobs=args.jobs
     )
+    _warn_degraded(report.degradations)
     print(report.render())
-    return EXIT_OK if report.is_noop else EXIT_DISCREPANCIES
+    if report.is_noop:
+        return EXIT_DEGRADED if report.degradations else EXIT_OK
+    return EXIT_DISCREPANCIES
 
 
 def _cmd_equivalent(args) -> int:
     fw_a = load(args.policy_a)
     fw_b = load(args.policy_b)
     budget = _budget_from_args(args)
+    degradations = []
     if args.jobs > 1:
-        discs, approximate, coverage = _parallel_discrepancies(
+        discs, approximate, coverage, degradations = _parallel_discrepancies(
             fw_a, fw_b, args, budget
         )
+        _warn_degraded(degradations)
         if approximate:
             if discs:
                 print(
@@ -397,7 +479,7 @@ def _cmd_equivalent(args) -> int:
         print(f"NOT equivalent: {len(aggregate_discrepancies(discs))} region(s) differ")
         return EXIT_DISCREPANCIES
     print("equivalent")
-    return EXIT_OK
+    return EXIT_DEGRADED if degradations else EXIT_OK
 
 
 def _cmd_query(args) -> int:
@@ -516,6 +598,53 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.chaos import run_suite, scenario_catalogue
+
+    if args.list_scenarios:
+        for scenario in scenario_catalogue():
+            print(f"{scenario.name:<16} {scenario.description}")
+        return EXIT_OK
+    try:
+        report = run_suite(
+            args.scenario,
+            jobs=args.jobs,
+            seed=args.seed,
+            n_rules=args.rules,
+            start_method=args.start_method,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    for item in report["scenarios"]:
+        verdict = "PASS" if item["passed"] else "FAIL"
+        notes = []
+        if not item["parity"]:
+            notes.append("summary diverged from serial baseline")
+        if not item["engaged"]:
+            notes.append("fault did not engage")
+        if item["degradations"]:
+            notes.append(f"{len(item['degradations'])} degradation(s)")
+        failures = ", ".join(
+            f"{f['reason']}@attempt{f['attempt']}" for f in item["failures"]
+        )
+        line = f"{verdict}  {item['scenario']:<16} [{failures or 'no failures'}]"
+        if notes:
+            line += f"  ({'; '.join(notes)})"
+        print(line)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(
+        f"chaos suite: {sum(item['passed'] for item in report['scenarios'])}"
+        f"/{len(report['scenarios'])} scenario(s) passed"
+    )
+    return EXIT_OK if report["passed"] else EXIT_DISCREPANCIES
+
+
 def _cmd_import(args) -> int:
     from repro.policy import from_cisco_acl, from_iptables
 
@@ -543,6 +672,7 @@ _COMMANDS = {
     "fingerprint": _cmd_fingerprint,
     "slice": _cmd_slice,
     "audit": _cmd_audit,
+    "chaos": _cmd_chaos,
     "import": _cmd_import,
 }
 

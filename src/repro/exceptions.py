@@ -201,6 +201,47 @@ class CancelledError(GuardError):
         return (_rebuild_cancelled_error, (type(self), self._raw_message, self.site))
 
 
+class SupervisionError(GuardError):
+    """A supervised shard failed permanently and degradation was refused.
+
+    Raised by :func:`repro.parallel.supervise` when a shard exhausts its
+    retry budget and the supervisor was configured with
+    ``degrade=False`` — callers that prefer a hard failure over a silent
+    serial fallback get the final failure's classification:
+
+    ``shard``
+        Index of the shard that could not be completed, if known.
+    ``reason``
+        The final attempt's failure class: ``"worker-crash"``,
+        ``"worker-hang"``, ``"shard-deadline"``, ``"corrupt-result"``,
+        or ``"worker-error"``.
+    ``attempts``
+        Total dispatch attempts consumed (original + retries).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int | None = None,
+        reason: str | None = None,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        #: Index of the failed shard, if known.
+        self.shard = shard
+        #: Failure class of the final attempt (see class docstring).
+        self.reason = reason
+        #: Total dispatch attempts consumed.
+        self.attempts = attempts
+
+    def __reduce__(self) -> tuple:
+        return (
+            _rebuild_supervision_error,
+            (type(self), self.args[0], self.shard, self.reason, self.attempts),
+        )
+
+
 class FaultInjectedError(GuardError):
     """Default error raised by an armed :class:`repro.guard.FaultInjector`.
 
@@ -227,3 +268,8 @@ def _rebuild_budget_error(cls, message, resource, spent, limit, progress):
 def _rebuild_cancelled_error(cls, message, site):
     """Unpickle helper for :class:`CancelledError`."""
     return cls(message, site=site)
+
+
+def _rebuild_supervision_error(cls, message, shard, reason, attempts):
+    """Unpickle helper for :class:`SupervisionError`."""
+    return cls(message, shard=shard, reason=reason, attempts=attempts)

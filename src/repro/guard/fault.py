@@ -39,7 +39,9 @@ class FaultInjector:
     def __init__(self) -> None:
         #: site -> [remaining visits before firing, exception factory].
         self._armed: dict[str, list] = {}
-        #: site -> total number of checkpoint visits observed (all sites).
+        #: site -> number of checkpoint visits observed *at that site*.
+        #: Every visited site gets a key — armed or not — because
+        #: :meth:`fire` counts before it checks for an armed fault.
         self.visits: dict[str, int] = {}
         #: Sites whose armed fault has fired, in firing order.
         self.fired: list[str] = []
@@ -63,7 +65,13 @@ class FaultInjector:
         self._armed.pop(site, None)
 
     def fire(self, site: str) -> None:
-        """Record a visit to ``site``; raise if an armed fault is due."""
+        """Record a visit to ``site``; raise if an armed fault is due.
+
+        The visit is counted *unconditionally* — disarmed sites too —
+        so :attr:`visits` doubles as a per-site coverage map of which
+        checkpoints a run actually reached (the chaos harness uses this
+        to pick ``after`` values that land mid-run).
+        """
         self.visits[site] = self.visits.get(site, 0) + 1
         armed = self._armed.get(site)
         if armed is None:

@@ -8,6 +8,13 @@ Section 7.3 cross comparison of ``t`` team versions concurrently, one
 pair per task.  See :mod:`repro.parallel.engine` for the merge argument
 and guard-budget propagation rules, and ``docs/performance.md`` for
 measured numbers.
+
+Process fan-out is crash-resilient: dispatch runs through
+:func:`supervise` (per-shard deadlines, heartbeat hang detection,
+bounded retry with backoff, checksummed result envelopes), and a shard
+whose retries are exhausted degrades to serial in-parent execution,
+recorded as a :class:`Degradation` on the merged result — see
+``docs/robustness.md`` for the state machine.
 """
 
 from repro.parallel.engine import (
@@ -22,11 +29,20 @@ from repro.parallel.engine import (
     plan_shards,
     restrict_to_shard,
 )
+from repro.parallel.supervisor import (
+    Degradation,
+    ShardFailure,
+    SupervisorConfig,
+    supervise,
+)
 
 __all__ = [
+    "Degradation",
     "PairComparison",
     "ParallelComparison",
+    "ShardFailure",
     "ShardResult",
+    "SupervisorConfig",
     "compare_many",
     "compare_parallel",
     "compare_sharded",
@@ -34,4 +50,5 @@ __all__ = [
     "default_jobs",
     "plan_shards",
     "restrict_to_shard",
+    "supervise",
 ]

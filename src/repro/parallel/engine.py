@@ -40,6 +40,17 @@ enforced against the original budget — in inline mode the one-time
 construction spend lands on the parent directly.  The first
 :class:`~repro.exceptions.BudgetExceededError` (or any worker error)
 terminates the remaining shards before re-raising.
+
+Process fan-out runs **supervised** by default (PR 6): shards dispatch
+through :func:`repro.parallel.supervisor.supervise`, which detects
+crashed/hung workers and corrupted result envelopes, retries with
+backoff, and — when retries are exhausted — re-executes the shard
+serially in the parent under the remaining budget, recording a
+:class:`~repro.parallel.supervisor.Degradation` on the merged result.
+Every dispatch (including retries and the serial fallback) re-derives
+the shard's budget from the parent's remaining headroom, and completed
+shards tick the parent as they arrive, so no retry sequence can
+outspend the caller's original budget.
 """
 
 from __future__ import annotations
@@ -47,7 +58,7 @@ from __future__ import annotations
 import bisect
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.analysis.discrepancy import Discrepancy
 from repro.exceptions import SchemaError
@@ -63,6 +74,12 @@ from repro.fdd.node import InternalNode
 from repro.fields import FieldSchema
 from repro.guard import Budget, FaultInjector, GuardContext
 from repro.intervals import IntervalSet
+from repro.parallel.supervisor import (
+    Degradation,
+    ShardFailure,
+    SupervisorConfig,
+    supervise,
+)
 from repro.policy.decision import Decision
 from repro.policy.firewall import Firewall
 from repro.policy.predicate import Predicate
@@ -396,6 +413,9 @@ class PairComparison:
     path_count: int
     progress: dict = field(default_factory=dict)
     elapsed_ms: float = 0.0
+    #: True when the supervisor re-ran this pair serially in the parent
+    #: after its worker dispatches failed (numbers remain exact).
+    degraded: bool = False
 
     def equivalent(self) -> bool:
         """True when the pair agrees on every packet."""
@@ -479,6 +499,37 @@ def _run_fanout(
         pool.join()
 
 
+def _make_rebudget(parent: GuardContext | None):
+    """Supervised dispatch hook: refresh a task's budget to the parent's
+    remaining headroom, so a retried (or degraded) shard can never be
+    handed more than the aggregate has left."""
+    if parent is None:
+        return None
+
+    def rebudget(task):
+        return replace(task, budget=parent.remaining_budget())
+
+    return rebudget
+
+
+def _make_on_result(parent: GuardContext | None):
+    """Supervised completion hook: tick a shard's spend against the
+    parent guard as soon as its result arrives (instead of at merge),
+    so mid-run retries see an up-to-date aggregate."""
+    if parent is None:
+        return None
+
+    def on_result(result):
+        if result.progress:
+            parent.tick_nodes(result.progress.get("nodes_expanded", 0))
+            parent.tick_splits(result.progress.get("edges_split", 0))
+            parent.tick_discrepancies(
+                result.progress.get("discrepancies_found", 0)
+            )
+
+    return on_result
+
+
 # ----------------------------------------------------------------------
 # Merged results
 # ----------------------------------------------------------------------
@@ -513,10 +564,34 @@ class ParallelComparison:
     #: (inline mode only; empty for process fan-out, where each worker
     #: constructs — and accounts — its own restricted diagrams).
     construction: dict = field(default_factory=dict)
+    #: Shards that exhausted their retries and were re-executed serially
+    #: in the parent (supervised fan-out only).  The merged numbers stay
+    #: exact — a degradation records a loss of parallelism, not of
+    #: correctness — but callers (and the CLI, exit code 5) surface it.
+    degradations: tuple[Degradation, ...] = ()
+    #: Every failed dispatch attempt the supervisor observed, including
+    #: the ones whose retry later succeeded.  Diagnostic only.
+    failures: tuple[ShardFailure, ...] = ()
 
     def equivalent(self) -> bool:
         """True when the two policies agree on every packet."""
         return self.disputed_packets == 0
+
+    def degraded(self) -> bool:
+        """True when at least one shard fell back to serial execution."""
+        return bool(self.degradations)
+
+    def degradation_report(self) -> list[dict]:
+        """JSON-safe degradations record (for reports and the CLI)."""
+        return [
+            {
+                "shard": item.shard_index,
+                "reason": item.reason,
+                "retries": item.retries,
+                "detail": item.detail,
+            }
+            for item in self.degradations
+        ]
 
     def summary(self) -> dict:
         """Canonical JSON-safe summary; byte-comparable to the serial
@@ -565,6 +640,9 @@ def compare_sharded(
     discrepancy_limit: int | None = None,
     start_method: str | None = None,
     inline: bool = True,
+    supervised: bool = True,
+    supervision: SupervisorConfig | None = None,
+    chaos=None,
 ) -> ParallelComparison:
     """Compare over an explicit shard list (the engine's testable core).
 
@@ -576,10 +654,19 @@ def compare_sharded(
     is what the property tests exercise.  Pass ``inline=False`` to fan
     out across ``jobs`` processes, each re-interning its restricted
     slice.
+
+    Process fan-out dispatches through the supervisor by default:
+    ``supervision`` tunes its retry/deadline/heartbeat policy, and
+    ``supervised=False`` selects the bare pool (no crash recovery —
+    kept for overhead benchmarking).  ``chaos`` is a test-only
+    :class:`repro.chaos.ChaosPlan` injecting faults into workers.
     """
     if fw_a.schema != fw_b.schema:
         raise SchemaError("cannot compare firewalls over different field schemas")
     construction: dict = {}
+    degradations: tuple[Degradation, ...] = ()
+    failures: tuple[ShardFailure, ...] = ()
+    parent_ticked = False
     if inline or len(shards) <= 1:
         parent, construction, results = _execute_shards_shared(
             fw_a,
@@ -606,14 +693,31 @@ def compare_sharded(
                     discrepancy_limit=discrepancy_limit,
                 )
             )
-        results = _run_fanout(
-            _execute_shard,
-            tasks,
-            jobs=jobs,
-            start_method=start_method,
-            inline=inline,
-            guard=parent,
-        )
+        if supervised:
+            results, found_degradations, found_failures = supervise(
+                _execute_shard,
+                tasks,
+                jobs=jobs,
+                config=supervision,
+                start_method=start_method,
+                guard=parent,
+                rebudget=_make_rebudget(parent),
+                on_result=_make_on_result(parent),
+                chaos=chaos,
+            )
+            degradations = tuple(found_degradations)
+            failures = tuple(found_failures)
+            # Completed shards already ticked the parent as they arrived.
+            parent_ticked = True
+        else:
+            results = _run_fanout(
+                _execute_shard,
+                tasks,
+                jobs=jobs,
+                start_method=start_method,
+                inline=inline,
+                guard=parent,
+            )
         results.sort(key=lambda result: result.shard_index)
 
     disputed = 0
@@ -622,7 +726,7 @@ def compare_sharded(
     paths = 0
     cells: list[Discrepancy] = []
     for result in results:
-        if parent is not None and result.progress:
+        if parent is not None and result.progress and not parent_ticked:
             # Aggregate every shard's spend against the original budget:
             # the whole run may not outspend what one serial run could.
             parent.tick_nodes(result.progress.get("nodes_expanded", 0))
@@ -650,6 +754,8 @@ def compare_sharded(
         discrepancies=tuple(cells) if enumerate_discrepancies else None,
         outcome=parent.outcome() if parent is not None else None,
         construction=construction,
+        degradations=degradations,
+        failures=failures,
     )
 
 
@@ -664,6 +770,9 @@ def compare_parallel(
     discrepancy_limit: int | None = None,
     start_method: str | None = None,
     inline: bool | None = None,
+    supervised: bool = True,
+    supervision: SupervisorConfig | None = None,
+    chaos=None,
 ) -> ParallelComparison:
     """Sharded parallel equivalent of :func:`repro.fdd.fast.compare_fast`.
 
@@ -697,6 +806,9 @@ def compare_parallel(
         discrepancy_limit=discrepancy_limit,
         start_method=start_method,
         inline=(jobs <= 1) if inline is None else inline,
+        supervised=supervised,
+        supervision=supervision,
+        chaos=chaos,
     )
 
 
@@ -708,6 +820,8 @@ def compare_many(
     fault: FaultInjector | None = None,
     start_method: str | None = None,
     inline: bool | None = None,
+    supervised: bool = True,
+    supervision: SupervisorConfig | None = None,
 ) -> dict[tuple[int, int], PairComparison]:
     """All pairwise comparisons of ``t`` team versions, concurrently.
 
@@ -715,7 +829,9 @@ def compare_many(
     ``t * (t - 1) / 2`` unordered pairs are independent, so each pair
     runs as one worker task.  Returns ``{(i, j): PairComparison}`` for
     ``i < j``.  Budgets aggregate across pairs exactly as
-    :func:`compare_parallel` aggregates across shards.
+    :func:`compare_parallel` aggregates across shards.  Fan-out runs
+    supervised by default; a pair whose worker dispatches all failed is
+    re-run serially and returned with ``degraded=True``.
     """
     if len(firewalls) < 2:
         raise SchemaError("cross comparison needs at least two firewalls")
@@ -737,19 +853,37 @@ def compare_many(
         for i in range(len(firewalls))
         for j in range(i + 1, len(firewalls))
     ]
-    results = _run_fanout(
-        _execute_pair,
-        tasks,
-        jobs=jobs,
-        start_method=start_method,
-        inline=(jobs <= 1) if inline is None else inline,
-        guard=parent,
-    )
-    for result in results:
-        if parent is not None and result.progress:
-            parent.tick_nodes(result.progress.get("nodes_expanded", 0))
-            parent.tick_splits(result.progress.get("edges_split", 0))
-            parent.tick_discrepancies(
-                result.progress.get("discrepancies_found", 0)
-            )
+    run_inline = (jobs <= 1) if inline is None else inline
+    if not run_inline and len(tasks) > 1 and supervised:
+        results, pair_degradations, _failures = supervise(
+            _execute_pair,
+            tasks,
+            jobs=jobs,
+            config=supervision,
+            start_method=start_method,
+            guard=parent,
+            rebudget=_make_rebudget(parent),
+            on_result=_make_on_result(parent),
+        )
+        degraded_indices = {item.shard_index for item in pair_degradations}
+        results = [
+            replace(result, degraded=True) if index in degraded_indices else result
+            for index, result in enumerate(results)
+        ]
+    else:
+        results = _run_fanout(
+            _execute_pair,
+            tasks,
+            jobs=jobs,
+            start_method=start_method,
+            inline=run_inline,
+            guard=parent,
+        )
+        for result in results:
+            if parent is not None and result.progress:
+                parent.tick_nodes(result.progress.get("nodes_expanded", 0))
+                parent.tick_splits(result.progress.get("edges_split", 0))
+                parent.tick_discrepancies(
+                    result.progress.get("discrepancies_found", 0)
+                )
     return {(result.index_a, result.index_b): result for result in results}

@@ -1,0 +1,482 @@
+"""Supervised worker pools: crash-resilient parallel execution.
+
+The plain fan-out pool (:func:`repro.parallel.engine._run_fanout`) trusts
+its workers: a worker that is SIGKILLed mid-shard leaves its result
+forever pending, a worker that hangs stalls the whole comparison, and a
+result corrupted in transit would be merged as if it were true.  This
+module replaces that trust with **supervision** — the property that every
+dispatched shard reaches exactly one of two terminal states, *completed*
+(an integrity-checked result merged into the report) or *degraded*
+(re-executed serially in the parent, recorded and visible), no matter
+what the worker process does in between.
+
+Per shard task, the supervisor runs this state machine::
+
+    PENDING ──dispatch──▶ RUNNING ──result ok──▶ COMPLETED
+       ▲                    │
+       │   backoff+jitter   │ worker-crash / worker-hang /
+       └────── RETRY ◀──────┤ shard-deadline / corrupt-result /
+                            │ worker-error
+                            └─(retries exhausted)─▶ DEGRADED
+                                (in-process serial fallback under the
+                                 remaining guard budget)
+
+Failure detection, in order of precedence:
+
+* **worker-crash** — the worker process died (its pipe hit EOF or the
+  process is no longer alive) while it owned a shard.  SIGKILL, OOM
+  kills, and interpreter aborts all land here.
+* **worker-hang** — the worker's heartbeat (a counter its background
+  thread sends every ``heartbeat_interval_s``) went stale for longer
+  than ``heartbeat_timeout_s`` while it owned a shard.  Catches frozen
+  processes (SIGSTOP, deadlocked C code) that are alive but not moving.
+* **shard-deadline** — the shard exceeded ``shard_deadline_s`` of
+  wall-clock since dispatch.  Catches computations that progress too
+  slowly to ever finish (the heartbeat still beats, so only the
+  deadline sees them).
+* **corrupt-result** — the result envelope failed its checksum: every
+  worker reply carries the SHA-256 of its pickled payload, computed
+  *before* the bytes cross the pipe, so bit-rot (or an injected
+  corruption from :mod:`repro.chaos`) is detected instead of merged.
+* **worker-error** — the worker raised.  Budget and cancellation errors
+  (:class:`~repro.exceptions.BudgetExceededError`,
+  :class:`~repro.exceptions.CancelledError`) are **fatal**: they mean
+  the *aggregate* run is over-budget and must stop, so they terminate
+  the remaining workers and re-raise.  Everything else is retried like
+  a crash — a deterministic error simply exhausts its retries and
+  surfaces from the serial fallback.
+
+Retries are bounded (``max_retries``) with exponential backoff and
+deterministic jitter (seeded per shard/attempt, so runs are
+reproducible); a retried shard is re-dispatched to any surviving worker,
+and dead workers are replaced to keep the pool at strength.  Every
+dispatch refreshes the shard's budget to the parent guard's *remaining*
+headroom, and every completed result is re-ticked against the parent
+immediately, so no sequence of retries can outspend the caller's
+original budget (see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import (
+    BudgetExceededError,
+    CancelledError,
+    SupervisionError,
+)
+from repro.guard import GuardContext
+
+__all__ = [
+    "SupervisorConfig",
+    "Degradation",
+    "ShardFailure",
+    "supervise",
+]
+
+#: Errors that abort the whole supervised run instead of retrying one
+#: shard: both mean the *aggregate* budget/cancellation state is final.
+_FATAL_ERRORS = (BudgetExceededError, CancelledError)
+
+#: Parent poll granularity while waiting on worker pipes, seconds.
+_POLL_S = 0.02
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning knobs for a supervised pool; the defaults suit production.
+
+    ``max_retries`` bounds re-dispatches per shard (attempt 0 plus up to
+    ``max_retries`` retries); after that the shard degrades to the
+    in-process serial fallback (or raises
+    :class:`~repro.exceptions.SupervisionError` when ``degrade`` is
+    False).  Backoff before retry ``k`` (1-based) is
+    ``backoff_base_s * backoff_factor**k``, stretched by a deterministic
+    jitter in ``[0, backoff_jitter]`` seeded from
+    ``(seed, shard, attempt)`` — reproducible, but de-synchronized.
+    ``heartbeat_timeout_s`` / ``shard_deadline_s`` of ``None`` disable
+    hang / deadline detection respectively.
+    """
+
+    #: Re-dispatches allowed per shard before degrading.
+    max_retries: int = 2
+    #: Base backoff before the first retry, seconds.
+    backoff_base_s: float = 0.05
+    #: Multiplier applied per further retry.
+    backoff_factor: float = 2.0
+    #: Maximum relative jitter stretched onto each backoff (0 disables).
+    backoff_jitter: float = 0.5
+    #: Per-shard wall-clock deadline from dispatch, or ``None``.
+    shard_deadline_s: float | None = None
+    #: How often workers send heartbeats.
+    heartbeat_interval_s: float = 0.1
+    #: Stale-heartbeat threshold that declares a busy worker hung.
+    heartbeat_timeout_s: float | None = 5.0
+    #: Fall back to in-process serial execution after retries (True) or
+    #: raise :class:`~repro.exceptions.SupervisionError` (False).
+    degrade: bool = True
+    #: Seed for the deterministic backoff jitter.
+    seed: int = 0
+
+    def backoff_s(self, shard_index: int, attempt: int) -> float:
+        """Backoff before dispatching ``attempt`` of ``shard_index``."""
+        base = self.backoff_base_s * self.backoff_factor ** max(0, attempt - 1)
+        rng = random.Random(
+            self.seed * 1_000_003 + shard_index * 1_009 + attempt
+        )
+        return base * (1.0 + self.backoff_jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One failed dispatch attempt, as observed by the supervisor."""
+
+    shard_index: int
+    #: 0-based attempt that failed (0 = the original dispatch).
+    attempt: int
+    #: ``worker-crash`` | ``worker-hang`` | ``shard-deadline`` |
+    #: ``corrupt-result`` | ``worker-error``.
+    reason: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """A shard that exhausted its retries and fell back to serial.
+
+    The fallback re-executed the shard *in the parent process* under the
+    guard budget remaining at that moment, so the merged result is still
+    exact — the degradation records that the parallel path gave up, not
+    that any answer is missing.
+    """
+
+    shard_index: int
+    #: Reason of the final failed attempt (see :class:`ShardFailure`).
+    reason: str
+    #: Failed dispatch attempts before the fallback (``max_retries + 1``).
+    retries: int
+    detail: str = ""
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.shard_index}: {self.reason}"
+            f" after {self.retries} attempt(s)"
+            + (f" ({self.detail})" if self.detail else "")
+            + "; re-ran serially in-process"
+        )
+
+
+def _checksum(payload: bytes) -> str:
+    """The result envelope's integrity digest."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _worker_loop(conn, worker, heartbeat_interval: float) -> None:
+    """A pool worker: receive tasks, reply with checksummed envelopes.
+
+    Runs in the child process (module-level and spawn-safe).  A daemon
+    thread sends ``("hb", counter)`` every ``heartbeat_interval`` seconds
+    so the parent can tell "busy" from "frozen"; task replies are
+    ``("ok"|"err", index, payload, digest)`` where ``payload`` pickles
+    the result (or the raised exception) and ``digest`` is its SHA-256
+    computed worker-side — the parent re-hashes, so corruption anywhere
+    on the pipe is caught.  A chaos action shipped with the task is
+    applied before execution (see :func:`repro.chaos.prepare_task`).
+    """
+    send_lock = threading.Lock()
+    hb_stop = threading.Event()
+
+    def beat() -> None:
+        count = 0
+        while not hb_stop.wait(heartbeat_interval):
+            count += 1
+            try:
+                with send_lock:
+                    conn.send(("hb", count))
+            except (OSError, ValueError):
+                return
+
+    threading.Thread(target=beat, daemon=True).start()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        index, task, action = message
+        corrupt_seed = None
+        try:
+            if action is not None:
+                from repro.chaos import prepare_task
+
+                task, corrupt_seed = prepare_task(action, task, hb_stop)
+            result = worker(task)
+            payload = pickle.dumps(result)
+            digest = _checksum(payload)
+            if corrupt_seed is not None:
+                payload = _flip_byte(payload, corrupt_seed)
+            reply = ("ok", index, payload, digest)
+        except BaseException as exc:
+            try:
+                payload = pickle.dumps(exc)
+            except Exception:
+                payload = pickle.dumps(
+                    SupervisionError(
+                        f"worker error did not pickle: {exc!r}",
+                        reason="worker-error",
+                    )
+                )
+            reply = ("err", index, payload, _checksum(payload))
+        try:
+            with send_lock:
+                conn.send(reply)
+        except (OSError, ValueError):
+            return
+
+
+def _flip_byte(payload: bytes, seed: int) -> bytes:
+    """Deterministically corrupt one byte of ``payload`` (chaos only)."""
+    if not payload:
+        return b"\x00"
+    rng = random.Random(seed)
+    index = rng.randrange(len(payload))
+    flipped = payload[index] ^ (1 + rng.randrange(255))
+    return payload[:index] + bytes([flipped]) + payload[index + 1 :]
+
+
+class _WorkerHandle:
+    """Parent-side view of one pool worker."""
+
+    __slots__ = ("process", "conn", "current", "dispatched_at", "hb_seen_at")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        #: ``(shard_index, attempt)`` while busy, else ``None``.
+        self.current: tuple[int, int] | None = None
+        self.dispatched_at = 0.0
+        self.hb_seen_at = 0.0
+
+
+def supervise(
+    worker,
+    tasks: list,
+    *,
+    jobs: int,
+    config: SupervisorConfig | None = None,
+    start_method: str | None = None,
+    guard: GuardContext | None = None,
+    rebudget=None,
+    on_result=None,
+    chaos=None,
+) -> tuple[list, list[Degradation], list[ShardFailure]]:
+    """Run ``worker`` over ``tasks`` in a supervised process pool.
+
+    ``worker`` must be a module-level callable (it crosses the pipe by
+    reference under spawn) and ``tasks`` must pickle.  ``rebudget``, if
+    given, maps a task to a copy carrying the parent's *remaining*
+    budget; it is applied at every dispatch (including retries and the
+    serial fallback) so no shard can be handed more headroom than the
+    aggregate has left.  ``on_result`` is invoked in the parent for each
+    completed result as it arrives — the engine uses it to re-tick shard
+    spend against the parent guard immediately; a
+    :class:`~repro.exceptions.BudgetExceededError` it raises is fatal
+    and propagates after the pool is torn down.  ``chaos`` is a
+    test-only :class:`repro.chaos.ChaosPlan` consulted per
+    ``(shard, attempt)`` dispatch.
+
+    Returns ``(results, degradations, failures)`` with ``results`` in
+    task order.  Raises the worker's own exception for fatal errors, or
+    :class:`~repro.exceptions.SupervisionError` when a shard exhausts
+    its retries and ``config.degrade`` is False.
+    """
+    config = config if config is not None else SupervisorConfig()
+    if not tasks:
+        return [], [], []
+    import multiprocessing as mp
+    from multiprocessing.connection import wait as wait_connections
+
+    ctx = mp.get_context(start_method) if start_method else mp.get_context()
+    results: dict[int, object] = {}
+    degradations: list[Degradation] = []
+    failures: list[ShardFailure] = []
+    #: Dispatchable ``(shard_index, attempt)`` pairs.
+    ready: deque[tuple[int, int]] = deque((i, 0) for i in range(len(tasks)))
+    #: Retries waiting out their backoff: ``(not_before, index, attempt)``.
+    delayed: list[tuple[float, int, int]] = []
+    workers: list[_WorkerHandle] = []
+
+    def spawn_worker() -> _WorkerHandle:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_loop,
+            args=(child_conn, worker, config.heartbeat_interval_s),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(process, parent_conn)
+        workers.append(handle)
+        return handle
+
+    def discard_worker(handle: _WorkerHandle) -> None:
+        try:
+            handle.process.kill()
+        except Exception:
+            pass
+        handle.process.join(timeout=5.0)
+        try:
+            handle.conn.close()
+        except Exception:
+            pass
+        if handle in workers:
+            workers.remove(handle)
+
+    def accept(index: int, result) -> None:
+        results[index] = result
+        if on_result is not None:
+            on_result(result)
+
+    def fail(index: int, attempt: int, reason: str, detail: str = "") -> None:
+        """Record one failed attempt; schedule a retry or degrade."""
+        failures.append(ShardFailure(index, attempt, reason, detail))
+        next_attempt = attempt + 1
+        if next_attempt <= config.max_retries:
+            not_before = time.monotonic() + config.backoff_s(index, next_attempt)
+            delayed.append((not_before, index, next_attempt))
+            return
+        if not config.degrade:
+            raise SupervisionError(
+                f"shard {index} failed after {next_attempt} attempt(s):"
+                f" {reason}" + (f" ({detail})" if detail else ""),
+                shard=index,
+                reason=reason,
+                attempts=next_attempt,
+            )
+        # Graceful degradation: the shard re-runs serially in *this*
+        # process under whatever guard budget remains.  Surviving
+        # workers keep computing their shards meanwhile.
+        task = tasks[index]
+        if rebudget is not None:
+            task = rebudget(task)
+        accept(index, worker(task))
+        degradations.append(Degradation(index, reason, next_attempt, detail))
+
+    def dispatch(handle: _WorkerHandle, index: int, attempt: int) -> bool:
+        task = tasks[index]
+        if rebudget is not None:
+            task = rebudget(task)
+        action = chaos.action_for(index, attempt) if chaos is not None else None
+        try:
+            handle.conn.send((index, task, action))
+        except (OSError, ValueError):
+            return False
+        now = time.monotonic()
+        handle.current = (index, attempt)
+        handle.dispatched_at = now
+        handle.hb_seen_at = now
+        return True
+
+    try:
+        while len(results) < len(tasks):
+            now = time.monotonic()
+            if guard is not None:
+                guard.checkpoint("parallel.supervise")
+            # Promote retries whose backoff has elapsed.
+            for entry in [e for e in delayed if e[0] <= now]:
+                delayed.remove(entry)
+                ready.append((entry[1], entry[2]))
+            # Dispatch to free workers; grow the pool up to ``jobs``.
+            while ready:
+                handle = next((w for w in workers if w.current is None), None)
+                if handle is None:
+                    if len(workers) >= jobs:
+                        break
+                    handle = spawn_worker()
+                index, attempt = ready.popleft()
+                if not dispatch(handle, index, attempt):
+                    # The worker died between tasks: replace it and
+                    # re-queue the dispatch (not a shard failure).
+                    discard_worker(handle)
+                    ready.appendleft((index, attempt))
+            # Wait for worker traffic (or a timeout to re-check clocks).
+            conns = [w.conn for w in workers]
+            ready_conns = wait_connections(conns, _POLL_S) if conns else []
+            if not conns and not ready and not delayed:
+                break  # defensive: nothing running, nothing to run
+            for conn in ready_conns:
+                handle = next((w for w in workers if w.conn is conn), None)
+                if handle is None:
+                    continue
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    current = handle.current
+                    discard_worker(handle)
+                    if current is not None:
+                        fail(current[0], current[1], "worker-crash",
+                             "worker process died mid-shard")
+                    continue
+                kind = message[0]
+                if kind == "hb":
+                    handle.hb_seen_at = time.monotonic()
+                    continue
+                _, index, payload, digest = message
+                handle.current = None
+                if _checksum(payload) != digest:
+                    fail(index, _attempt_of(failures, index),
+                         "corrupt-result", "result envelope checksum mismatch")
+                    continue
+                try:
+                    value = pickle.loads(payload)
+                except Exception as exc:
+                    fail(index, _attempt_of(failures, index),
+                         "corrupt-result", f"result did not unpickle: {exc!r}")
+                    continue
+                if kind == "ok":
+                    accept(index, value)
+                else:
+                    if isinstance(value, _FATAL_ERRORS):
+                        raise value
+                    fail(index, _attempt_of(failures, index),
+                         "worker-error", repr(value))
+            # Liveness checks for busy workers the pipe said nothing about.
+            now = time.monotonic()
+            for handle in list(workers):
+                if handle.current is None:
+                    continue
+                index, attempt = handle.current
+                if (
+                    config.shard_deadline_s is not None
+                    and now - handle.dispatched_at > config.shard_deadline_s
+                ):
+                    discard_worker(handle)
+                    fail(index, attempt, "shard-deadline",
+                         f"no result within {config.shard_deadline_s}s of dispatch")
+                elif (
+                    config.heartbeat_timeout_s is not None
+                    and now - handle.hb_seen_at > config.heartbeat_timeout_s
+                ):
+                    discard_worker(handle)
+                    fail(index, attempt, "worker-hang",
+                         f"heartbeat stale for {config.heartbeat_timeout_s}s")
+        return [results[i] for i in range(len(tasks))], degradations, failures
+    finally:
+        for handle in list(workers):
+            discard_worker(handle)
+
+
+def _attempt_of(failures: list[ShardFailure], index: int) -> int:
+    """Current 0-based attempt number of shard ``index``.
+
+    Derived from the failure log (each prior failure consumed one
+    attempt) so envelope handlers do not need the worker handle's state.
+    """
+    return sum(1 for f in failures if f.shard_index == index)

@@ -69,6 +69,19 @@ class TestFaultInjector:
         injector.fire("y")
         assert injector.visits == {"y": 2}
 
+    def test_visits_recorded_for_disarmed_sites_and_keyed_per_site(self):
+        # The visits dict is keyed per site (each site counts its own
+        # visits), and disarming never stops the counting: visits
+        # doubles as a coverage map of which checkpoints a run reached.
+        injector = FaultInjector()
+        injector.arm("x")
+        injector.disarm("x")
+        injector.fire("x")
+        injector.fire("x")
+        injector.fire("y")
+        assert injector.visits == {"x": 2, "y": 1}
+        assert injector.fired == []
+
 
 def _guard_with_fault(site: str, after: int = 0) -> GuardContext:
     injector = FaultInjector()

@@ -24,6 +24,7 @@ from repro.exceptions import (
     NotComprehensiveError,
     ParseError,
     SchemaError,
+    SupervisionError,
 )
 from repro.fdd.fast import compare_fast
 from repro.fields import toy_schema
@@ -321,27 +322,75 @@ class TestCompareMany:
 # ----------------------------------------------------------------------
 
 
+#: Every picklable guard/transport exception, with all attributes set.
+_PICKLABLE_ERRORS = [
+    BudgetExceededError(
+        "node budget exceeded: 11 > 10",
+        resource="fdd-nodes",
+        spent=11,
+        limit=10,
+        progress={"nodes_expanded": 11},
+    ),
+    CancelledError(site="fast.rule"),
+    FaultInjectedError("fast.product"),
+    NotComprehensiveError("no rule matches", witness=(1, 2, 3)),
+    ParseError("bad token", line=7),
+    SupervisionError(
+        "shard 3 failed after 2 attempt(s): worker-crash",
+        shard=3,
+        reason="worker-crash",
+        attempts=2,
+    ),
+]
+
+#: Attributes the round trip must preserve (whichever exist per error).
+_PRESERVED_ATTRS = (
+    "resource",
+    "spent",
+    "limit",
+    "progress",
+    "site",
+    "witness",
+    "line",
+    "shard",
+    "reason",
+    "attempts",
+)
+
+
+def _round_trip_error(error):
+    """Worker target: re-pickle the exception in a child process."""
+    return pickle.loads(pickle.dumps(error))
+
+
+def _raise_error(error):
+    """Worker target: raise the exception (Pool pickles it back)."""
+    raise error
+
+
+def _assert_clone(clone, error) -> None:
+    assert type(clone) is type(error)
+    assert str(clone) == str(error)
+    for attr in _PRESERVED_ATTRS:
+        if hasattr(error, attr):
+            assert getattr(clone, attr) == getattr(error, attr)
+
+
 class TestExceptionPickling:
-    @pytest.mark.parametrize(
-        "error",
-        [
-            BudgetExceededError(
-                "node budget exceeded: 11 > 10",
-                resource="fdd-nodes",
-                spent=11,
-                limit=10,
-                progress={"nodes_expanded": 11},
-            ),
-            CancelledError(site="fast.rule"),
-            FaultInjectedError("fast.product"),
-            NotComprehensiveError("no rule matches", witness=(1, 2, 3)),
-            ParseError("bad token", line=7),
-        ],
-    )
+    @pytest.mark.parametrize("error", _PICKLABLE_ERRORS)
     def test_round_trip_preserves_attributes(self, error):
-        clone = pickle.loads(pickle.dumps(error))
-        assert type(clone) is type(error)
-        assert str(clone) == str(error)
-        for attr in ("resource", "spent", "limit", "progress", "site", "witness", "line"):
-            if hasattr(error, attr):
-                assert getattr(clone, attr) == getattr(error, attr)
+        _assert_clone(pickle.loads(pickle.dumps(error)), error)
+
+    def test_spawn_worker_round_trip_preserves_attributes(self):
+        # Fork inherits the parent's memory, so only spawn proves the
+        # reduce hooks rebuild these errors in a fresh interpreter —
+        # both as return values and raised through the result queue.
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            for error in _PICKLABLE_ERRORS:
+                _assert_clone(pool.apply(_round_trip_error, (error,)), error)
+                with pytest.raises(type(error)) as excinfo:
+                    pool.apply(_raise_error, (error,))
+                _assert_clone(excinfo.value, error)
