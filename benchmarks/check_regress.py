@@ -4,7 +4,9 @@
 Usage::
 
     python benchmarks/check_regress.py BASELINE.json CURRENT.json \
-        [--threshold 0.25] [--min-ms 1.0] [--exact disputed_packets]
+        [--threshold 0.25] [--min-ms 1.0] [--exact disputed_packets] \
+        [--speedup critical_path_speedup] [--wall-speedup speedup] \
+        [--allow-missing-rows]
 
 Compares two trajectory documents written by the benchmark harness (see
 :mod:`repro.bench.trajectory`): rows are matched by ``key``; timing
@@ -54,6 +56,37 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FIELD",
         help="row field that must match exactly (repeatable)",
     )
+    parser.add_argument(
+        "--speedup",
+        action="append",
+        default=[],
+        metavar="FIELD",
+        help=(
+            "higher-is-better row field that may fall at most"
+            " --threshold below the baseline (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--wall-speedup",
+        action="append",
+        default=[],
+        metavar="FIELD",
+        help=(
+            "like --speedup, but skipped (with a logged reason) on rows"
+            " whose 'jobs' exceed the usable cores recorded in"
+            " 'effective_cores' — wall-clock parallel speedups are"
+            " unwinnable on such boxes (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--allow-missing-rows",
+        action="store_true",
+        help=(
+            "report baseline rows absent from the current run as notes"
+            " instead of regressions (for quick-scale runs that measure"
+            " a subset of the anchor's sizes)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -70,13 +103,27 @@ def main(argv: list[str] | None = None) -> int:
             " timings are only roughly comparable"
         )
 
+    notes: list[str] = []
     regressions = compare_trajectories(
         baseline,
         current,
         threshold=args.threshold,
         min_ms=args.min_ms,
         exact=tuple(args.exact),
+        speedups=tuple(args.speedup),
+        wall_speedups=tuple(args.wall_speedup),
+        notes=notes,
     )
+    if args.allow_missing_rows:
+        for regression in regressions:
+            if regression.kind == "missing-row":
+                notes.append(
+                    f"{regression.row_key}: not measured in current run"
+                    " (allowed by --allow-missing-rows)"
+                )
+        regressions = [r for r in regressions if r.kind != "missing-row"]
+    for note in notes:
+        print(f"check_regress: note: {note}")
     compared = len(baseline.get("rows", []))
     if not regressions:
         print(

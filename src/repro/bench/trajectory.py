@@ -15,7 +15,10 @@ names end in ``_ms`` or ``_us`` (wall-clock) are *regression-checked* by
 than ``threshold`` slower than the same-keyed row in the baseline is a
 regression.  Counters (no time suffix) are carried for context and
 *mismatch-checked* only when listed in ``exact`` (e.g. disputed-packet
-counts must never drift).
+counts must never drift).  Higher-is-better speedup fields are gated
+only on explicit opt-in (``speedups``/``wall_speedups``), and
+wall-clock speedups are skipped on boxes with fewer usable cores than
+workers (rows record :func:`effective_cores` to make that decidable).
 
 ``benchmarks/check_regress.py`` is the CLI wrapper CI uses to gate on
 this comparison.
@@ -31,6 +34,7 @@ from pathlib import Path
 
 __all__ = [
     "Regression",
+    "effective_cores",
     "machine_fingerprint",
     "trajectory_payload",
     "write_trajectory",
@@ -57,6 +61,22 @@ def machine_fingerprint() -> dict:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
     }
+
+
+def effective_cores() -> int:
+    """CPU cores actually usable by this process.
+
+    Containers and CI runners routinely pin processes to fewer cores
+    than ``os.cpu_count()`` reports; the scheduler affinity mask is the
+    honest number.  Parallel benchmark rows record this so a wall-clock
+    speedup measured on a box with fewer cores than workers is
+    recognizably unwinnable (see :func:`compare_trajectories`'s
+    ``wall_speedups``).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def trajectory_payload(name: str, rows: list[dict], *, meta: dict | None = None) -> dict:
@@ -116,7 +136,7 @@ class Regression:
     #: ``current / baseline`` for timings; ``float('nan')`` never occurs —
     #: exact-field drifts report ratio 0.0.
     ratio: float
-    kind: str  # "slower" | "drift" | "missing-row"
+    kind: str  # "slower" | "drift" | "missing-row" | "speedup-drop"
 
     def describe(self) -> str:
         if self.kind == "missing-row":
@@ -125,6 +145,11 @@ class Regression:
             return (
                 f"{self.row_key}.{self.metric}: value drifted"
                 f" {self.baseline!r} -> {self.current!r}"
+            )
+        if self.kind == "speedup-drop":
+            return (
+                f"{self.row_key}.{self.metric}: speedup fell"
+                f" {self.baseline:.2f}x -> {self.current:.2f}x"
             )
         return (
             f"{self.row_key}.{self.metric}: {self.baseline:.3f} ->"
@@ -143,6 +168,9 @@ def compare_trajectories(
     threshold: float = 0.25,
     min_ms: float = 1.0,
     exact: tuple[str, ...] = (),
+    speedups: tuple[str, ...] = (),
+    wall_speedups: tuple[str, ...] = (),
+    notes: list[str] | None = None,
 ) -> list[Regression]:
     """Regressions of ``current`` relative to ``baseline``.
 
@@ -152,8 +180,21 @@ def compare_trajectories(
     satisfy ``current <= baseline * (1 + threshold)``; timings where both
     sides are under ``min_ms`` milliseconds are skipped (pure timer
     noise).  Fields named in ``exact`` must be equal on both sides.
+
+    Speedup metrics are higher-is-better and gated only by explicit
+    opt-in (several benchmarks carry informational ``speedup_vs_*``
+    context fields that must *not* alarm): fields named in ``speedups``
+    must satisfy ``current >= baseline * (1 - threshold)``.  Fields in
+    ``wall_speedups`` are gated the same way **except** when the current
+    row's parallelism exceeds the cores the process can actually use
+    (row ``jobs`` > row ``effective_cores``, falling back to the
+    document's machine ``cpu_count``) — a wall-clock speedup target is
+    unwinnable on such a box, so the comparison is skipped and the
+    reason appended to ``notes``.  Critical-path and exact gates on the
+    same row stay active.
     """
     by_key = {row["key"]: row for row in current.get("rows", [])}
+    machine_cores = (current.get("machine") or {}).get("cpu_count")
     regressions: list[Regression] = []
     for base_row in baseline.get("rows", []):
         key = base_row["key"]
@@ -169,6 +210,38 @@ def compare_trajectories(
                 if cur_value != base_value:
                     regressions.append(
                         Regression(key, metric, base_value, cur_value, 0.0, "drift")
+                    )
+                continue
+            if metric in speedups or metric in wall_speedups:
+                if not isinstance(base_value, (int, float)) or not isinstance(
+                    cur_value, (int, float)
+                ):
+                    continue
+                if metric in wall_speedups:
+                    jobs = cur_row.get("jobs")
+                    cores = cur_row.get("effective_cores", machine_cores)
+                    if (
+                        isinstance(jobs, int)
+                        and isinstance(cores, int)
+                        and cores < jobs
+                    ):
+                        if notes is not None:
+                            notes.append(
+                                f"{key}.{metric}: skipped wall-clock speedup"
+                                f" gate ({cores} usable core(s) <"
+                                f" {jobs} jobs — target unwinnable here)"
+                            )
+                        continue
+                if cur_value < base_value * (1.0 - threshold):
+                    regressions.append(
+                        Regression(
+                            key,
+                            metric,
+                            float(base_value),
+                            float(cur_value),
+                            cur_value / base_value if base_value else 0.0,
+                            "speedup-drop",
+                        )
                     )
                 continue
             if not _is_timing(metric):

@@ -1,0 +1,251 @@
+"""Vectorized batch-classification kernels (optional numpy acceleration).
+
+The scalar hot path in :class:`~repro.classify.matcher.CompiledMatcher`
+costs one Python-level bisect per field per packet.  That is already
+free of node objects and interval algebra, but the interpreter still
+dispatches ~5 opcodes per field per packet.  For batch traffic this
+module lowers the compiled artifact one step further, into a
+*level-synchronous equivalence-class kernel* in the style of Recursive
+Flow Classification:
+
+* level ``k`` of the kernel handles schema field ``k``.  The boundaries
+  of **all** nodes labelled with that field are merged into one global
+  boundary list, splitting the field's domain into equivalence classes;
+  small domains (ports, protocol) resolve values to classes through a
+  dense precomputed table, large domains (IPv4 addresses) through one
+  ``numpy.searchsorted`` over the whole batch;
+* each level carries a transition table ``T[state + class] -> state'``
+  (states are pre-multiplied by the next level's class count, so the
+  inner loop is one add and one gather); diagrams that skip a field or
+  reach a terminal early are handled by carrying pass-through states
+  through the remaining levels;
+* after the last level the state *is* the decision index.
+
+The whole batch therefore moves through ``len(schema)`` rounds of two
+or three C-level array operations, independent of rule count — about
+an order of magnitude faster than even the scalar compiled path, and
+20×+ faster than walking the FDD.
+
+numpy is an optional dependency: :data:`HAVE_NUMPY` records whether it
+imported, and :func:`build_batch_kernel` returns ``None`` whenever the
+kernel cannot be built — numpy missing, the diagram not level-ordered
+by schema index, or the transition tables exceeding
+:data:`TABLE_CELL_LIMIT` — in which case callers fall back to the
+scalar path.  The kernel is a *derived* cache: it never travels through
+pickle and never participates in artifact equality.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.classify.matcher import CompiledMatcher
+
+try:  # gated: the package must work without numpy installed
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+__all__ = [
+    "DENSE_CLASS_LIMIT",
+    "HAVE_NUMPY",
+    "LevelKernel",
+    "TABLE_CELL_LIMIT",
+    "build_batch_kernel",
+]
+
+#: True when numpy imported and vectorized kernels are available.
+HAVE_NUMPY = _np is not None
+
+#: Fields whose domain size is at most this get a dense value->class
+#: table (ports: 64 Ki entries; protocol: 256).  Larger domains (IPv4)
+#: use searchsorted over the merged boundary list instead.
+DENSE_CLASS_LIMIT = 1 << 17
+
+#: Upper bound on total transition-table cells across all levels.
+#: ``states x classes`` is tiny for real policies (a few thousand
+#: cells at n=1000 rules) but is not bounded by artifact size alone,
+#: so adversarial diagrams fall back to the scalar path instead of
+#: allocating without limit.
+TABLE_CELL_LIMIT = 1 << 23
+
+
+class LevelKernel:
+    """A level-synchronous batch classifier derived from a compiled matcher.
+
+    Build with :func:`build_batch_kernel`.  The kernel shares the
+    artifact's decision table; everything else is a handful of numpy
+    arrays.  ``stage`` turns Python packets into the kernel's staged
+    matrix once; ``classify_indices`` runs the staged matrix to decision
+    indices.  Serving code that keeps traffic staged (one column per
+    field) pays only the per-level array passes per batch.
+    """
+
+    __slots__ = ("decisions", "_levels", "_root_state", "_decision_array", "_fields")
+
+    def __init__(self, decisions, levels, root_state, num_fields):
+        self.decisions = decisions
+        self._levels = levels
+        self._root_state = root_state
+        self._fields = num_fields
+        self._decision_array = _np.array(decisions, dtype=object)
+
+    # -- staging -------------------------------------------------------
+    def stage(self, packets: Sequence[Sequence[int]]):
+        """Pack packets into the kernel's staged matrix.
+
+        Returns a C-contiguous ``(num_fields, n)`` int64 array — one row
+        per field so each level reads one contiguous row.  Staging is a
+        single linear pass; ingest pipelines that produce columns
+        directly can skip it entirely.
+        """
+        n = len(packets)
+        flat = _np.fromiter(
+            chain.from_iterable(packets), dtype=_np.int64, count=n * self._fields
+        )
+        return _np.ascontiguousarray(flat.reshape(n, self._fields).T)
+
+    # -- the batch hot path --------------------------------------------
+    def classify_indices(self, staged):
+        """Decision index of every packet in a staged matrix."""
+        state = _np.full(staged.shape[1], self._root_state, dtype=_np.int64)
+        for k, (dense_classes, boundaries, table) in enumerate(self._levels):
+            values = staged[k]
+            if dense_classes is not None:
+                cls = dense_classes.take(values)
+            else:
+                cls = _np.searchsorted(boundaries, values, side="right") - 1
+            state = table.take(state + cls)
+        return state
+
+    def classify_batch(self, packets: Sequence[Sequence[int]]):
+        """Decisions for a batch of Python packets, in order."""
+        return self.decisions_for(self.classify_indices(self.stage(packets)))
+
+    def decisions_for(self, indices) -> list:
+        """Materialize decision objects from ``classify_indices`` output."""
+        return self._decision_array.take(indices).tolist()
+
+    def tally_indices(self, indices) -> dict:
+        """Decision histogram of ``classify_indices`` output (bincount)."""
+        counts = _np.bincount(indices, minlength=len(self.decisions))
+        return {
+            decision: int(count)
+            for decision, count in zip(self.decisions, counts)
+            if count
+        }
+
+    def size_bytes(self) -> int:
+        """Byte size of the kernel's derived tables."""
+        total = 0
+        for dense_classes, boundaries, table in self._levels:
+            for arr in (dense_classes, boundaries, table):
+                if arr is not None:
+                    total += arr.nbytes
+        return total
+
+
+def build_batch_kernel(matcher: "CompiledMatcher") -> LevelKernel | None:
+    """Lower a compiled matcher into a :class:`LevelKernel`.
+
+    Returns ``None`` when the kernel cannot be built (no numpy, the
+    diagram is not ordered by schema field index, or the transition
+    tables would exceed :data:`TABLE_CELL_LIMIT`); callers must fall
+    back to the matcher's scalar path.  The lowering is exact: the
+    kernel decides every packet identically to ``matcher.classify``.
+    """
+    if _np is None:
+        return None
+    schema = matcher.schema
+    num_fields = len(schema)
+    node_field = matcher._node_field
+    node_off = matcher._node_off
+    bounds = matcher._bounds
+    targets = matcher._targets
+
+    # Pass 1: per level, the live codes (compiled node ids >= 0, terminal
+    # codes < 0), the merged boundary list, and the raw transition rows.
+    raw_levels = []
+    live: set[int] = {matcher._root}
+    total_cells = 0
+    for k in range(num_fields):
+        real = []
+        carried = []
+        for code in live:
+            if code >= 0 and node_field[code] == k:
+                real.append(code)
+            elif code >= 0 and node_field[code] < k:
+                return None  # not ordered by schema field index
+            else:
+                carried.append(code)
+        real.sort()
+        carried.sort()
+        local = {code: i for i, code in enumerate(real + carried)}
+        merged = {0}
+        for code in real:
+            merged.update(bounds[node_off[code] : node_off[code + 1]])
+        boundaries = sorted(merged)
+        n_classes = len(boundaries)
+        total_cells += len(local) * n_classes
+        if total_cells > TABLE_CELL_LIMIT:
+            return None
+        rows: list[list[int]] = []
+        next_live: set[int] = set()
+        for code in real + carried:
+            if code >= 0 and node_field[code] == k:
+                row = []
+                j = node_off[code]
+                end = node_off[code + 1] - 1
+                for lo in boundaries:
+                    while j < end and bounds[j + 1] <= lo:
+                        j += 1
+                    row.append(targets[j])
+            else:
+                row = [code] * n_classes
+            rows.append(row)
+            next_live.update(row)
+        raw_levels.append((local, boundaries, rows, n_classes))
+        live = next_live
+    if any(code >= 0 for code in live):
+        return None  # an internal node survives past the last field
+
+    # Pass 2: pack each level.  Transition entries are pre-multiplied by
+    # the next level's class count so the kernel's inner loop is just
+    # ``table.take(state + class)``; the last level maps straight to
+    # decision indices.
+    decisions = matcher.decisions
+    terminal_index = {-(d + 1): d for d in range(len(decisions))}
+    levels = []
+    for k, (local, boundaries, rows, n_classes) in enumerate(raw_levels):
+        if k + 1 < num_fields:
+            next_local, _, _, next_classes = raw_levels[k + 1]
+
+            def encode(code):
+                return next_local[code] * next_classes
+        else:
+
+            def encode(code):
+                return terminal_index[code]
+        table = _np.fromiter(
+            (encode(code) for row in rows for code in row),
+            dtype=_np.int64,
+            count=len(rows) * n_classes,
+        )
+        domain = schema[k].max_value + 1
+        bounds_arr = _np.array(boundaries, dtype=_np.int64)
+        if domain <= DENSE_CLASS_LIMIT:
+            dense = (
+                _np.searchsorted(
+                    bounds_arr, _np.arange(domain, dtype=_np.int64), side="right"
+                )
+                - 1
+            )
+            levels.append((dense, None, table))
+        else:
+            levels.append((None, bounds_arr, table))
+
+    root_local = raw_levels[0][0][matcher._root]
+    root_state = root_local * raw_levels[0][3]
+    return LevelKernel(decisions, tuple(levels), root_state, num_fields)

@@ -9,6 +9,8 @@ files in the library's text format (see :mod:`repro.policy.parser`):
     $ python -m repro impact before.fw after.fw
     $ python -m repro equivalent a.fw b.fw
     $ python -m repro query policy.fw "count accept where dst_port=smtp"
+    $ python -m repro query policy.fw --batch packets.txt --format json
+    $ python -m repro serve-bench team_a.fw team_b.fw --packets 50000
     $ python -m repro compact policy.fw
     $ python -m repro anomalies policy.fw
     $ python -m repro lint policy.fw --format sarif
@@ -58,7 +60,7 @@ from repro.analysis import (
     remove_redundant_rules,
     run_query,
 )
-from repro.exceptions import BudgetExceededError, ReproError
+from repro.exceptions import BudgetExceededError, ParseError, ReproError
 from repro.fdd import compare_firewalls
 from repro.guard import Budget, GuardContext
 from repro.policy import dumps, load, to_cisco_acl, to_iptables, to_table
@@ -209,7 +211,71 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="answer a query against a policy")
     query.add_argument("policy")
-    query.add_argument("text", help='e.g. "count accept where dst_port=smtp"')
+    query.add_argument(
+        "text", nargs="?", default=None, help='e.g. "count accept where dst_port=smtp"'
+    )
+    query.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE",
+        help=(
+            "classify packets listed in FILE (one packet per line, values"
+            " in schema field order; '-' reads stdin) through the compiled"
+            " matcher and print a summary"
+        ),
+    )
+    query.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json"),
+        default="text",
+        help="batch summary format (default: text)",
+    )
+    query.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="classify the batch across N worker processes",
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="compile policies into a serving cache and measure lookup throughput",
+    )
+    serve_bench.add_argument("policies", nargs="+")
+    serve_bench.add_argument(
+        "--packets",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="synthetic packets per policy for the throughput run (default 20000)",
+    )
+    serve_bench.add_argument(
+        "--seed", type=int, default=97, help="packet sampler seed (default 97)"
+    )
+    serve_bench.add_argument(
+        "--capacity",
+        type=int,
+        default=8,
+        metavar="N",
+        help="artifact cache capacity (default 8)",
+    )
+    serve_bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also measure the batch fan-out across N worker processes",
+    )
+    serve_bench.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the full report as JSON to PATH",
+    )
+    _add_guard_options(serve_bench, fallback=False)
 
     compact = sub.add_parser(
         "compact", help="remove provably redundant rules (prints the result)"
@@ -483,8 +549,187 @@ def _cmd_equivalent(args) -> int:
 
 
 def _cmd_query(args) -> int:
+    if args.batch is not None:
+        return _query_batch(args)
+    if args.text is None:
+        print("error: provide a query string or --batch FILE", file=sys.stderr)
+        return EXIT_ERROR
     print(run_query(args.text, load(args.policy)))
     return 0
+
+
+def _read_packets(handle, schema) -> list:
+    """Parse a packet-per-line stream using the schema's vocabulary.
+
+    Values appear in schema field order, separated by commas and/or
+    whitespace; each may be anything the field parses to a *single*
+    value (integers, dotted quads, service or protocol names).  Blank
+    lines and ``#`` comments are skipped.
+    """
+    from repro.fields import Packet
+
+    packets = []
+    for lineno, line in enumerate(handle, 1):
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        tokens = body.replace(",", " ").split()
+        if len(tokens) != len(schema):
+            raise ParseError(
+                f"line {lineno}: expected {len(schema)} field value(s),"
+                f" got {len(tokens)}"
+            )
+        values = []
+        for field, token in zip(schema, tokens):
+            try:
+                value_set = field.parse_value_set(token)
+            except ReproError as exc:
+                raise ParseError(f"line {lineno}: {field.name}: {exc}") from exc
+            if value_set.count() != 1:
+                raise ParseError(
+                    f"line {lineno}: {field.name}: {token!r} names"
+                    f" {value_set.count()} values, need exactly one"
+                )
+            values.append(value_set.min())
+        packets.append(Packet(values, schema))
+    return packets
+
+
+def _query_batch(args) -> int:
+    import json
+    import time
+
+    from repro.classify import compile_firewall
+
+    firewall = load(args.policy)
+    if args.batch == "-":
+        packets = _read_packets(sys.stdin, firewall.schema)
+    else:
+        with open(args.batch, "r", encoding="utf-8") as handle:
+            packets = _read_packets(handle, firewall.schema)
+    matcher = compile_firewall(firewall)
+    start = time.perf_counter()
+    if args.jobs is not None and args.jobs > 1:
+        from repro.parallel import classify_parallel
+
+        decisions = classify_parallel(matcher, packets, jobs=args.jobs)
+    else:
+        decisions = matcher.classify_batch(packets)
+    elapsed = time.perf_counter() - start
+    counts: dict[str, int] = {}
+    for decision in decisions:
+        counts[str(decision)] = counts.get(str(decision), 0) + 1
+    summary = {
+        "packets": len(packets),
+        "counts": dict(sorted(counts.items())),
+        "elapsed_ms": round(elapsed * 1000, 3),
+        "per_lookup_us": (
+            round(elapsed / len(packets) * 1e6, 3) if packets else None
+        ),
+        "matcher": matcher.stats(),
+    }
+    if args.fmt == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(
+        f"classified {summary['packets']} packet(s) in {summary['elapsed_ms']} ms"
+        + (
+            f" ({summary['per_lookup_us']} us/lookup)"
+            if summary["per_lookup_us"] is not None
+            else ""
+        )
+    )
+    for name, count in summary["counts"].items():
+        print(f"  {name:<14} {count}")
+    stats = summary["matcher"]
+    print(
+        f"matcher: {stats['nodes']} node(s), {stats['segments']} segment(s),"
+        f" {stats['size_bytes']} B"
+    )
+    return EXIT_OK
+
+
+def _cmd_serve_bench(args) -> int:
+    import json
+    import time
+
+    from repro.fields import PacketSampler
+    from repro.serve import PolicyServer
+
+    budget = _budget_from_args(args)
+    server = PolicyServer(capacity=args.capacity, budget=budget)
+    rows = []
+    for path in args.policies:
+        firewall = load(path)
+        start = time.perf_counter()
+        fingerprint = server.load(firewall, name=path)
+        load_ms = (time.perf_counter() - start) * 1000
+        matcher = server.matcher(path)
+        sampler = PacketSampler(firewall.schema, seed=args.seed)
+        packets = sampler.uniform_many(max(1, args.packets))
+        matcher.classify_batch(packets[:64])  # warm the lazy batch kernel
+        start = time.perf_counter()
+        decisions = matcher.classify_batch(packets)
+        compiled_s = time.perf_counter() - start
+        sample = packets[: min(len(packets), 2000)]
+        start = time.perf_counter()
+        baseline = [firewall.evaluate(p) for p in sample]
+        baseline_s = time.perf_counter() - start
+        if decisions[: len(sample)] != baseline:
+            print(f"error: decision mismatch for {path}", file=sys.stderr)
+            return EXIT_DISCREPANCIES
+        counts: dict[str, int] = {}
+        for decision in decisions:
+            counts[str(decision)] = counts.get(str(decision), 0) + 1
+        compiled_us = compiled_s / len(packets) * 1e6
+        baseline_us = baseline_s / len(sample) * 1e6
+        row = {
+            "policy": path,
+            "fingerprint": fingerprint,
+            "rules": len(firewall),
+            "load_ms": round(load_ms, 3),
+            "packets": len(packets),
+            "counts": dict(sorted(counts.items())),
+            "compiled_us_per_lookup": round(compiled_us, 4),
+            "firewall_us_per_lookup": round(baseline_us, 4),
+            "speedup_vs_firewall": round(baseline_us / compiled_us, 2)
+            if compiled_us
+            else None,
+            "matcher": matcher.stats(),
+        }
+        if args.jobs is not None and args.jobs > 1:
+            from repro.parallel import classify_parallel
+
+            start = time.perf_counter()
+            fanned = classify_parallel(matcher, packets, jobs=args.jobs)
+            parallel_s = time.perf_counter() - start
+            if fanned != decisions:
+                print(f"error: parallel decision mismatch for {path}", file=sys.stderr)
+                return EXIT_DISCREPANCIES
+            row["parallel_jobs"] = args.jobs
+            row["parallel_us_per_lookup"] = round(parallel_s / len(packets) * 1e6, 4)
+        rows.append(row)
+        print(
+            f"{path}: {row['rules']} rule(s) -> {row['matcher']['nodes']} node(s),"
+            f" {row['matcher']['size_bytes']} B, loaded in {row['load_ms']} ms"
+        )
+        print(
+            f"  compiled {row['compiled_us_per_lookup']} us/lookup vs firewall"
+            f" {row['firewall_us_per_lookup']} us/lookup"
+            f" ({row['speedup_vs_firewall']}x)"
+        )
+    stats = server.stats()
+    print(
+        f"cache: {stats['artifacts']}/{stats['capacity']} artifact(s),"
+        f" {stats['compiles']} compile(s), {stats['hits']} hit(s),"
+        f" {stats['evictions']} eviction(s), {stats['size_bytes']} B resident"
+    )
+    report = {"policies": rows, "cache": stats}
+    if args.json_path is not None:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return EXIT_OK
 
 
 def _cmd_compact(args) -> int:
@@ -664,6 +909,7 @@ _COMMANDS = {
     "impact": _cmd_impact,
     "equivalent": _cmd_equivalent,
     "query": _cmd_query,
+    "serve-bench": _cmd_serve_bench,
     "compact": _cmd_compact,
     "anomalies": _cmd_anomalies,
     "lint": _cmd_lint,

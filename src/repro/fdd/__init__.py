@@ -13,7 +13,7 @@
 """
 
 from repro.fdd.builder import FDDBuilder, reorder_fdd
-from repro.fdd.canonical import canonical_fdd, semantic_fingerprint
+from repro.fdd.canonical import canonical_fdd, fingerprint_canonical, semantic_fingerprint
 from repro.fdd.viz import to_ascii, to_dot
 from repro.fdd.comparison import compare_direct, compare_fdds, compare_firewalls, compare_shaped
 from repro.fdd.construction import append_rule, construct_fdd
@@ -40,6 +40,7 @@ __all__ = [
     "append_rule",
     "build_difference",
     "canonical_fdd",
+    "fingerprint_canonical",
     "are_semi_isomorphic",
     "compare_direct",
     "compare_fast",

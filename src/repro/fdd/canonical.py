@@ -38,7 +38,7 @@ from repro.fdd.passes import fold
 from repro.fdd.reduce import reduce_fdd
 from repro.policy.firewall import Firewall
 
-__all__ = ["canonical_fdd", "semantic_fingerprint"]
+__all__ = ["canonical_fdd", "fingerprint_canonical", "semantic_fingerprint"]
 
 
 def canonical_fdd(firewall: Firewall | FDD, *, engine: str = "fast") -> FDD:
@@ -107,11 +107,22 @@ def semantic_fingerprint(firewall: Firewall | FDD, *, engine: str = "fast") -> s
     >>> semantic_fingerprint(one) == semantic_fingerprint(two)
     True
     """
-    canonical = canonical_fdd(firewall, engine=engine)
-    schema_tag = ",".join(
-        f"{field.name}:{field.max_value}" for field in canonical.schema
-    )
+    return fingerprint_canonical(canonical_fdd(firewall, engine=engine))
+
+
+def fingerprint_canonical(fdd: FDD) -> str:
+    """Digest an *already canonical* diagram — no normalization pass.
+
+    Equals ``semantic_fingerprint`` when ``fdd`` is a canonical reduced
+    ordered FDD (e.g. the output of
+    :func:`~repro.fdd.fast.construct_fdd_fast`); callers that already
+    hold one — the serving layer fingerprints the same diagram it is
+    about to compile — skip the reconstruction round trip this way.
+    Handing it a non-canonical diagram silently produces a digest that
+    matches nothing; when in doubt use :func:`semantic_fingerprint`.
+    """
+    schema_tag = ",".join(f"{field.name}:{field.max_value}" for field in fdd.schema)
     hasher = hashlib.sha256()
     hasher.update(schema_tag.encode())
-    hasher.update(_node_digest(canonical.root, {}).encode())
+    hasher.update(_node_digest(fdd.root, {}).encode())
     return hasher.hexdigest()

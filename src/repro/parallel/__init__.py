@@ -15,8 +15,13 @@ bounded retry with backoff, checksummed result envelopes), and a shard
 whose retries are exhausted degrades to serial in-parent execution,
 recorded as a :class:`Degradation` on the merged result — see
 ``docs/robustness.md`` for the state machine.
+
+:func:`classify_parallel` reuses the same fan-out for serving-side
+batch classification: workers receive pickled compiled matcher
+artifacts (:mod:`repro.classify`), never policy sources.
 """
 
+from repro.parallel.classify import classify_parallel
 from repro.parallel.engine import (
     PairComparison,
     ParallelComparison,
@@ -43,6 +48,7 @@ __all__ = [
     "ShardFailure",
     "ShardResult",
     "SupervisorConfig",
+    "classify_parallel",
     "compare_many",
     "compare_parallel",
     "compare_sharded",

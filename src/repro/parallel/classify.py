@@ -1,0 +1,81 @@
+"""Parallel batch classification: ship compiled artifacts, not policies.
+
+Workers receive a pickled :class:`~repro.classify.matcher.CompiledMatcher`
+and a contiguous slice of the packet batch, classify it, and return the
+decisions in order.  Because the artifact is a handful of flat arrays,
+shipping it is cheap and spawn-safe — no rule parsing, no FDD
+construction, no node graphs cross the process boundary.  Each worker
+rebuilds its vectorized batch kernel locally on first use (the kernel
+is a derived cache and deliberately never pickles).
+
+The fan-out reuses the comparison engine's pool runner, so deadline
+checkpoints of a parent guard are honoured while waiting on workers.
+On a single-core box (or for batches below ``jobs`` packets) the call
+degrades to one in-process chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.classify.matcher import CompiledMatcher
+from repro.fields import Packet
+from repro.guard import GuardContext
+from repro.policy.decision import Decision
+from repro.parallel.engine import _run_fanout, default_jobs
+
+__all__ = ["classify_parallel"]
+
+
+@dataclass(frozen=True)
+class _ClassifyTask:
+    """One worker's unit: the shared artifact plus its slice of packets."""
+
+    matcher: CompiledMatcher
+    packets: tuple
+
+
+def _classify_worker(task: _ClassifyTask) -> list[Decision]:
+    return task.matcher.classify_batch(task.packets)
+
+
+def classify_parallel(
+    matcher: CompiledMatcher,
+    packets: Iterable[Packet | Sequence[int]],
+    *,
+    jobs: int | None = None,
+    start_method: str | None = None,
+    inline: bool | None = None,
+    guard: GuardContext | None = None,
+) -> list[Decision]:
+    """Classify a batch across ``jobs`` worker processes.
+
+    Splits the batch into ``jobs`` contiguous chunks, ships the compiled
+    artifact to each worker, and concatenates the per-chunk decisions —
+    the result is elementwise identical to ``matcher.classify_batch``.
+    ``jobs`` defaults to the CPU count; ``inline=True`` forces
+    in-process execution (``None`` lets chunk count decide, exactly like
+    the comparison engine); ``guard`` is checkpointed while awaiting
+    workers so parent deadlines and cancellation still bite.
+    """
+    if not isinstance(packets, (list, tuple)):
+        packets = list(packets)
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    chunks = max(1, min(jobs, len(packets)))
+    size, extra = divmod(len(packets), chunks)
+    tasks = []
+    start = 0
+    for i in range(chunks):
+        end = start + size + (1 if i < extra else 0)
+        tasks.append(_ClassifyTask(matcher, tuple(packets[start:end])))
+        start = end
+    results = _run_fanout(
+        _classify_worker,
+        tasks,
+        jobs=jobs,
+        start_method=start_method,
+        inline=bool(inline) if inline is not None else False,
+        guard=guard,
+    )
+    return [decision for chunk in results for decision in chunk]

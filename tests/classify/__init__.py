@@ -1,0 +1,1 @@
+"""Tests for the flat-array classifier compiler and kernels."""

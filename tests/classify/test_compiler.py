@@ -1,0 +1,169 @@
+"""Compiler correctness: exact lowering, validation, budgets."""
+
+import pytest
+
+from repro.classify import CompiledMatcher, compile_fdd, compile_firewall
+from repro.exceptions import BudgetExceededError, FDDError
+from repro.fdd import construct_fdd, reduce_fdd
+from repro.fdd.fast import construct_fdd_fast
+from repro.fdd.fdd import FDD
+from repro.fdd.node import Edge, InternalNode, TerminalNode
+from repro.fields import enumerate_universe, toy_schema
+from repro.guard import Budget, GuardContext
+from repro.intervals import IntervalSet
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+
+
+@pytest.fixture
+def firewall3():
+    schema = toy_schema(9, 9, 9)
+    return Firewall(
+        schema,
+        [
+            Rule.build(schema, DISCARD, F1=(2, 4), F2=(0, 5)),
+            Rule.build(schema, ACCEPT, F2=(3, 7)),
+            Rule.build(schema, DISCARD, F3=(8, 9)),
+            Rule.build(schema, ACCEPT),
+        ],
+    )
+
+
+class TestExactness:
+    def test_exhaustive_parity_with_both_engines(self, firewall3):
+        fast = construct_fdd_fast(firewall3)
+        matcher = compile_fdd(fast)
+        tree_matcher = compile_fdd(reduce_fdd(construct_fdd(firewall3)))
+        for packet in enumerate_universe(firewall3.schema):
+            expected = firewall3.evaluate(packet)
+            assert matcher.classify(packet) == expected
+            assert tree_matcher.classify(packet) == expected
+
+    def test_compile_firewall_shortcut(self, firewall3):
+        matcher = compile_firewall(firewall3)
+        assert matcher == compile_fdd(construct_fdd_fast(firewall3))
+
+    def test_deterministic_recompile(self, firewall3):
+        a = compile_firewall(firewall3)
+        b = compile_firewall(firewall3)
+        assert a == b and hash(a) == hash(b)
+
+    def test_accepts_raw_value_tuples(self, firewall3):
+        matcher = compile_firewall(firewall3)
+        assert matcher((3, 1, 0)) == firewall3.evaluate((3, 1, 0))
+
+    def test_terminal_root_compiles(self):
+        schema = toy_schema(9, 9)
+        fdd = FDD(schema, TerminalNode(ACCEPT))
+        matcher = compile_fdd(fdd)
+        assert matcher.node_count == 0
+        assert all(
+            matcher.classify(p) == ACCEPT for p in enumerate_universe(schema)
+        )
+
+    def test_skipped_field_compiles(self):
+        # Root tests F1 only; F2 is never tested on any path.
+        schema = toy_schema(9, 9)
+        root = InternalNode(
+            0,
+            [
+                Edge(IntervalSet.of((0, 4)), TerminalNode(ACCEPT)),
+                Edge(IntervalSet.of((5, 9)), TerminalNode(DISCARD)),
+            ],
+        )
+        fdd = FDD(schema, root)
+        matcher = compile_fdd(fdd)
+        for packet in enumerate_universe(schema):
+            assert matcher.classify(packet) == fdd.evaluate(packet)
+
+    def test_shared_subgraph_compiles_once(self, firewall3):
+        fdd = construct_fdd_fast(firewall3)
+        matcher = compile_fdd(fdd)
+        seen: set[int] = set()
+
+        def count(node) -> None:
+            if isinstance(node, TerminalNode) or id(node) in seen:
+                return
+            seen.add(id(node))
+            for edge in node.edges:
+                count(edge.target)
+
+        count(fdd.root)
+        assert matcher.node_count == len(seen)
+
+
+class TestValidation:
+    def test_gap_in_labels_rejected(self):
+        schema = toy_schema(9)
+        root = InternalNode(
+            0,
+            [
+                Edge(IntervalSet.of((0, 3)), TerminalNode(ACCEPT)),
+                Edge(IntervalSet.of((5, 9)), TerminalNode(DISCARD)),
+            ],
+        )
+        with pytest.raises(FDDError, match="skip or overlap at value 4"):
+            compile_fdd(FDD(schema, root))
+
+    def test_overlapping_labels_rejected(self):
+        schema = toy_schema(9)
+        root = InternalNode(
+            0,
+            [
+                Edge(IntervalSet.of((0, 5)), TerminalNode(ACCEPT)),
+                Edge(IntervalSet.of((4, 9)), TerminalNode(DISCARD)),
+            ],
+        )
+        with pytest.raises(FDDError, match="skip or overlap"):
+            compile_fdd(FDD(schema, root))
+
+    def test_truncated_domain_rejected(self):
+        schema = toy_schema(9)
+        root = InternalNode(
+            0, [Edge(IntervalSet.of((0, 7)), TerminalNode(ACCEPT))]
+        )
+        with pytest.raises(FDDError, match="stop at 7, domain ends at 9"):
+            compile_fdd(FDD(schema, root))
+
+    def test_unknown_field_rejected(self):
+        schema = toy_schema(9)
+        root = InternalNode(
+            3, [Edge(IntervalSet.of((0, 9)), TerminalNode(ACCEPT))]
+        )
+        with pytest.raises(FDDError, match="unknown field 3"):
+            compile_fdd(FDD(schema, root))
+
+
+class TestBudget:
+    def test_node_budget_trips(self, firewall3):
+        fdd = construct_fdd_fast(firewall3)
+        guard = GuardContext(Budget(max_nodes=1))
+        with pytest.raises(BudgetExceededError):
+            compile_fdd(fdd, guard=guard)
+
+    def test_sufficient_budget_passes(self, firewall3):
+        fdd = construct_fdd_fast(firewall3)
+        guard = GuardContext(Budget(max_nodes=10_000))
+        assert isinstance(compile_fdd(fdd, guard=guard), CompiledMatcher)
+
+
+class TestAccounting:
+    def test_size_bytes_matches_array_payload(self, firewall3):
+        matcher = compile_firewall(firewall3)
+        expected = (
+            2 * matcher.node_count  # node_field: int16
+            + 8 * (matcher.node_count + 1)  # node_off: int64
+            + 16 * matcher.segment_count  # bounds + targets: int64 each
+        )
+        assert matcher.size_bytes() == expected
+
+    def test_stats_shape(self, firewall3):
+        stats = compile_firewall(firewall3).stats()
+        assert set(stats) == {
+            "nodes",
+            "segments",
+            "decisions",
+            "fields",
+            "size_bytes",
+        }
+        assert stats["fields"] == 3
+        assert stats["segments"] >= stats["nodes"]

@@ -1,0 +1,171 @@
+"""Level-kernel correctness: exact parity with the scalar path, and the
+fallbacks that keep batch classification working when the kernel can't
+be built (no numpy, unordered diagram, oversized tables)."""
+
+import pytest
+
+from repro.classify import compile_fdd, compile_firewall
+from repro.classify.kernels import HAVE_NUMPY, build_batch_kernel
+from repro.fdd.fdd import FDD
+from repro.fdd.node import Edge, InternalNode, TerminalNode
+from repro.fields import PacketSampler, enumerate_universe, toy_schema
+from repro.intervals import IntervalSet
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+from repro.synth import SyntheticFirewallGenerator
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+def _toy_matcher():
+    schema = toy_schema(9, 9, 9)
+    firewall = Firewall(
+        schema,
+        [
+            Rule.build(schema, DISCARD, F1=(2, 4), F3=(1, 8)),
+            Rule.build(schema, ACCEPT, F2=(3, 7)),
+            Rule.build(schema, DISCARD),
+        ],
+    )
+    return compile_firewall(firewall)
+
+
+@needs_numpy
+class TestParity:
+    def test_exhaustive_toy_parity(self):
+        matcher = _toy_matcher()
+        kernel = build_batch_kernel(matcher)
+        assert kernel is not None
+        packets = list(enumerate_universe(matcher.schema))
+        assert kernel.classify_batch(packets) == matcher._classify_batch_scalar(
+            packets
+        )
+
+    def test_standard_schema_parity(self):
+        firewall = SyntheticFirewallGenerator(seed=31).generate(80)
+        matcher = compile_firewall(firewall)
+        kernel = build_batch_kernel(matcher)
+        assert kernel is not None
+        packets = PacketSampler(firewall.schema, seed=31).uniform_many(2000)
+        assert kernel.classify_batch(packets) == matcher._classify_batch_scalar(
+            packets
+        )
+
+    def test_staged_pipeline_equals_batch(self):
+        matcher = _toy_matcher()
+        kernel = matcher.batch_kernel()
+        packets = PacketSampler(matcher.schema, seed=3).uniform_many(300)
+        staged = kernel.stage(packets)
+        indices = kernel.classify_indices(staged)
+        assert kernel.decisions_for(indices) == kernel.classify_batch(packets)
+
+    def test_tally_indices_matches(self):
+        matcher = _toy_matcher()
+        kernel = matcher.batch_kernel()
+        packets = PacketSampler(matcher.schema, seed=3).uniform_many(300)
+        indices = kernel.classify_indices(kernel.stage(packets))
+        expected: dict = {}
+        for decision in kernel.decisions_for(indices):
+            expected[decision] = expected.get(decision, 0) + 1
+        assert kernel.tally_indices(indices) == expected
+
+    def test_terminal_root(self):
+        schema = toy_schema(9, 9)
+        matcher = compile_fdd(FDD(schema, TerminalNode(ACCEPT)))
+        kernel = build_batch_kernel(matcher)
+        assert kernel is not None
+        packets = list(enumerate_universe(schema))
+        assert kernel.classify_batch(packets) == [ACCEPT] * len(packets)
+
+    def test_skipped_trailing_field(self):
+        # F2 never tested: every state is carried through level 1.
+        schema = toy_schema(9, 9)
+        root = InternalNode(
+            0,
+            [
+                Edge(IntervalSet.of((0, 4)), TerminalNode(ACCEPT)),
+                Edge(IntervalSet.of((5, 9)), TerminalNode(DISCARD)),
+            ],
+        )
+        matcher = compile_fdd(FDD(schema, root))
+        kernel = build_batch_kernel(matcher)
+        assert kernel is not None
+        packets = list(enumerate_universe(schema))
+        assert kernel.classify_batch(packets) == matcher._classify_batch_scalar(
+            packets
+        )
+
+    def test_skipped_leading_field(self):
+        # Root tests F2; level 0 only carries the root state through.
+        schema = toy_schema(9, 9)
+        root = InternalNode(
+            1,
+            [
+                Edge(IntervalSet.of((0, 6)), TerminalNode(ACCEPT)),
+                Edge(IntervalSet.of((7, 9)), TerminalNode(DISCARD)),
+            ],
+        )
+        matcher = compile_fdd(FDD(schema, root))
+        kernel = build_batch_kernel(matcher)
+        assert kernel is not None
+        packets = list(enumerate_universe(schema))
+        assert kernel.classify_batch(packets) == matcher._classify_batch_scalar(
+            packets
+        )
+
+    def test_size_bytes_positive(self):
+        kernel = _toy_matcher().batch_kernel()
+        assert kernel.size_bytes() > 0
+
+
+@needs_numpy
+class TestFallbacks:
+    def test_unordered_diagram_returns_none(self):
+        # Root tests F2 with children testing F1: not schema-ordered.
+        schema = toy_schema(9, 9)
+        child = InternalNode(
+            0,
+            [
+                Edge(IntervalSet.of((0, 4)), TerminalNode(ACCEPT)),
+                Edge(IntervalSet.of((5, 9)), TerminalNode(DISCARD)),
+            ],
+        )
+        root = InternalNode(
+            1,
+            [
+                Edge(IntervalSet.of((0, 6)), child),
+                Edge(IntervalSet.of((7, 9)), TerminalNode(DISCARD)),
+            ],
+        )
+        matcher = compile_fdd(FDD(schema, root))
+        assert build_batch_kernel(matcher) is None
+        # The public batch API still answers, via the scalar loop.
+        packets = list(enumerate_universe(schema))
+        fdd = FDD(schema, root)
+        assert matcher.classify_batch(packets) == [
+            fdd.evaluate(p) for p in packets
+        ]
+
+    def test_table_cell_limit_falls_back(self, monkeypatch):
+        import repro.classify.kernels as kernels
+
+        matcher = _toy_matcher()
+        monkeypatch.setattr(kernels, "TABLE_CELL_LIMIT", 1)
+        assert build_batch_kernel(matcher) is None
+        packets = PacketSampler(matcher.schema, seed=7).uniform_many(64)
+        assert matcher.classify_batch(packets) == [
+            matcher.classify(p) for p in packets
+        ]
+
+
+class TestWithoutNumpy:
+    def test_batch_kernel_none_without_numpy(self, monkeypatch):
+        import repro.classify.kernels as kernels
+
+        monkeypatch.setattr(kernels, "_np", None)
+        matcher = _toy_matcher()
+        assert build_batch_kernel(matcher) is None
+        assert matcher.batch_kernel() is None
+        packets = PacketSampler(matcher.schema, seed=7).uniform_many(64)
+        assert matcher.classify_batch(packets) == [
+            matcher.classify(p) for p in packets
+        ]

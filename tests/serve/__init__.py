@@ -1,0 +1,1 @@
+"""Tests for the fingerprint-keyed serving layer."""

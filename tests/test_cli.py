@@ -128,6 +128,123 @@ class TestQuery:
         assert "error:" in capsys.readouterr().err
 
 
+class TestQueryBatch:
+    @pytest.fixture
+    def packet_file(self, tmp_path):
+        path = tmp_path / "packets.txt"
+        path.write_text(
+            "# src_ip dst_ip src_port dst_port protocol\n"
+            "10.0.0.1, 192.168.0.1, 1024, smtp, tcp\n"
+            "\n"
+            "10.0.0.2 192.168.0.2 2048 80 udp\n",
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_text_summary(self, standard_policy, packet_file, capsys):
+        code = main(["query", standard_policy, "--batch", packet_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "classified 2 packet(s)" in out
+        assert "matcher:" in out
+
+    def test_json_summary(self, standard_policy, packet_file, capsys):
+        import json
+
+        code = main(
+            ["query", standard_policy, "--batch", packet_file, "--format", "json"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["packets"] == 2
+        assert sum(summary["counts"].values()) == 2
+        assert summary["matcher"]["nodes"] >= 1
+
+    def test_stdin_batch(self, standard_policy, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("10.0.0.1 192.168.0.1 1024 25 6\n")
+        )
+        code = main(["query", standard_policy, "--batch", "-"])
+        assert code == 0
+        assert "classified 1 packet(s)" in capsys.readouterr().out
+
+    def test_jobs_matches_serial_counts(self, standard_policy, packet_file, capsys):
+        import json
+
+        main(["query", standard_policy, "--batch", packet_file, "--format", "json"])
+        serial = json.loads(capsys.readouterr().out)["counts"]
+        code = main(
+            [
+                "query",
+                standard_policy,
+                "--batch",
+                packet_file,
+                "--jobs",
+                "2",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["counts"] == serial
+
+    def test_wrong_arity_exits_2(self, standard_policy, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n", encoding="utf-8")
+        code = main(["query", standard_policy, "--batch", str(path)])
+        assert code == 2
+        assert "expected 5 field value(s)" in capsys.readouterr().err
+
+    def test_range_token_exits_2(self, standard_policy, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("10.0.0.1 192.168.0.1 1024-2048 25 6\n", encoding="utf-8")
+        code = main(["query", standard_policy, "--batch", str(path)])
+        assert code == 2
+        assert "need exactly one" in capsys.readouterr().err
+
+    def test_no_text_and_no_batch_exits_2(self, standard_policy, capsys):
+        code = main(["query", standard_policy])
+        assert code == 2
+        assert "provide a query string or --batch" in capsys.readouterr().err
+
+
+class TestServeBench:
+    def test_smoke_with_json_report(self, standard_policy, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve-bench",
+                standard_policy,
+                standard_policy,
+                "--packets",
+                "256",
+                "--json",
+                str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache:" in out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert len(report["policies"]) == 2
+        # The same policy loaded twice costs one compile (content hit).
+        assert report["cache"]["compiles"] == 1
+        assert report["cache"]["hits"] >= 1
+        fingerprints = {row["fingerprint"] for row in report["policies"]}
+        assert len(fingerprints) == 1
+
+    def test_budget_trip_exits_3(self, standard_policy, capsys):
+        code = main(
+            ["serve-bench", standard_policy, "--packets", "64", "--max-nodes", "1"]
+        )
+        assert code == 3
+        assert "budget" in capsys.readouterr().err.lower()
+
+
 class TestCompact:
     def test_prints_slimmed_policy(self, tmp_path, capsys):
         from repro.fields import standard_schema

@@ -13,10 +13,12 @@ PACKAGES = [
     "repro.analysis",
     "repro.bdd",
     "repro.bench",
+    "repro.classify",
     "repro.fdd",
     "repro.fields",
     "repro.intervals",
     "repro.policy",
+    "repro.serve",
     "repro.stateful",
     "repro.synth",
 ]
