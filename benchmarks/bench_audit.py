@@ -1,0 +1,102 @@
+"""Fleet audit throughput — cold vs warm content-addressed cache.
+
+Audits a synthetic fleet (``repro.synth`` policies, one shared golden
+baseline) twice against the same on-disk cache and measures the cold
+and warm wall-clock.  The warm run must perform **zero** FDD
+constructions (every policy resolves through the source-digest memo and
+per-stage entries) and be at least 10x faster — the same bar the
+acceptance test in ``tests/audit/test_fleet_scale.py`` holds, measured
+here at benchmark scale and archived as a trajectory.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.audit import ResultCache, audit_fleet, load_manifest
+from repro.bench import banner, bench_scale, render_table
+from repro.policy import dumps
+from repro.synth import SyntheticFirewallGenerator
+
+SCALES = {"quick": (20, 6), "paper": (120, 10)}
+
+
+def _build_fleet(root: Path, policies: int, rules: int) -> None:
+    for index in range(policies):
+        generator = SyntheticFirewallGenerator(seed=4000 + index)
+        firewall = generator.generate(rules, name=f"fleet-{index:03d}")
+        tenant = root / f"tenant-{index % 8}"
+        tenant.mkdir(exist_ok=True)
+        (tenant / f"policy-{index:03d}.fw").write_text(dumps(firewall, "standard"))
+    golden = SyntheticFirewallGenerator(seed=3999).generate(rules, name="golden")
+    (root / "golden.fw").write_text(dumps(golden, "standard"))
+
+
+def test_bench_audit_cache(report_saver, json_saver):
+    policies, rules = SCALES[bench_scale()]
+    workdir = Path(tempfile.mkdtemp(prefix="bench-audit-"))
+    try:
+        fleet_dir = workdir / "fleet"
+        fleet_dir.mkdir()
+        _build_fleet(fleet_dir, policies, rules)
+        manifest = load_manifest(fleet_dir, baseline=str(fleet_dir / "golden.fw"))
+
+        started = time.perf_counter()
+        cold = audit_fleet(manifest, cache=ResultCache(workdir / "cache"))
+        cold_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = audit_fleet(manifest, cache=ResultCache(workdir / "cache"))
+        warm_s = time.perf_counter() - started
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    assert cold.stats.errors == 0
+    assert warm.stats.fdd_constructions == 0, "warm run constructed an FDD"
+    assert warm.stats.fully_cached == warm.stats.policies
+    assert {r.name: r.stages for r in cold.results} == {
+        r.name: r.stages for r in warm.results
+    }, "cold/warm diagnostic parity violated"
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    assert speedup >= 10.0, f"warm speedup {speedup:.1f}x below the 10x bar"
+
+    rows = [
+        {
+            "key": f"fleet-{policies}",
+            "policies": policies,
+            "rules_per_policy": rules,
+            "cold_ms": round(cold_s * 1e3, 2),
+            "warm_ms": round(warm_s * 1e3, 2),
+            "speedup": round(speedup, 1),
+            "cold_constructions": cold.stats.fdd_constructions,
+            "warm_constructions": warm.stats.fdd_constructions,
+            "parity": True,
+        }
+    ]
+    json_saver("audit_cache", rows, meta={"seed": 4000, "scale": bench_scale()})
+    table = render_table(
+        ["fleet", "cold (ms)", "warm (ms)", "speedup", "warm FDD builds"],
+        [
+            (
+                row["key"],
+                f"{row['cold_ms']:.1f}",
+                f"{row['warm_ms']:.1f}",
+                f"{row['speedup']:.1f}x",
+                row["warm_constructions"],
+            )
+            for row in rows
+        ],
+    )
+    report = "\n".join(
+        [
+            banner(
+                "Fleet audit: cold vs warm content-addressed cache",
+                "warm bar: zero FDD constructions, >=10x faster, parity",
+            ),
+            table,
+        ]
+    )
+    report_saver("audit_cache", report)

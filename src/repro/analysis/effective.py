@@ -74,6 +74,14 @@ class EffectiveAnalysis:
     rules: tuple[EffectiveRule, ...]
     #: The decisions the policy actually assigns to at least one packet.
     decisions_taken: frozenset[Decision]
+    #: The complete policy's FDD, a free by-product of the incremental
+    #: construction (store engine: the final append root *is* the
+    #: canonical reduced ordered FDD).  ``None`` under the reference
+    #: engine, whose mutable tree is not reduced.
+    fdd: FDD | None = None
+    #: The :class:`~repro.fdd.store.NodeStore` holding ``fdd`` (store
+    #: engine only) — reusable for further products over the same policy.
+    store: NodeStore | None = None
 
     def dead_indices(self) -> list[int]:
         """Indices of rules no packet can ever first-match."""
@@ -129,7 +137,11 @@ def _conflict_sweep(
 
 
 def effective_rules(
-    firewall: Firewall, *, guard: GuardContext | None = None, engine: str = "fast"
+    firewall: Firewall,
+    *,
+    guard: GuardContext | None = None,
+    engine: str = "fast",
+    store: NodeStore | None = None,
 ) -> EffectiveAnalysis:
     """Decide, exactly, which rules take effect and which are shadowed.
 
@@ -148,6 +160,12 @@ def effective_rules(
     ``engine="reference"`` keeps the paper-literal mutable-tree append;
     both report identical facts (cross-validated in the test suite).
 
+    ``store`` (store engine only) supplies the :class:`NodeStore` the
+    partial diagrams are interned in; callers that run further products
+    over the same policy — the lint engine, the audit pipeline — pass
+    their own store so the final diagram (returned on the analysis as
+    ``fdd``) shares labels and memo tables with that later work.
+
     >>> from repro.fields import toy_schema
     >>> from repro.policy import Firewall, Rule, ACCEPT, DISCARD
     >>> schema = toy_schema(9)
@@ -164,6 +182,8 @@ def effective_rules(
     rules = firewall.rules
     first = rules[0]
     effective = [True]  # the first rule always first-matches its predicate
+    final_fdd: FDD | None = None
+    final_store: NodeStore | None = None
     if engine == "reference":
         root: Node = build_decision_path(
             firewall.schema, first.predicate.sets, first.decision, 0
@@ -175,7 +195,7 @@ def effective_rules(
             effective.append(append_rule(fdd, rule, guard=guard))
         root = fdd.root
     else:
-        store = NodeStore()
+        store = store if store is not None else NodeStore()
         root = store.chain(
             tuple(store.intern_set(s) for s in first.predicate.sets),
             first.decision,
@@ -188,6 +208,8 @@ def effective_rules(
             )
             effective.append(new_root is not root)
             root = new_root
+        final_fdd = FDD(firewall.schema, root)
+        final_store = store
 
     facts: list[EffectiveRule] = []
     for index, is_effective in enumerate(effective):
@@ -219,5 +241,9 @@ def effective_rules(
         if isinstance(node, TerminalNode)
     )
     return EffectiveAnalysis(
-        firewall=firewall, rules=tuple(facts), decisions_taken=taken
+        firewall=firewall,
+        rules=tuple(facts),
+        decisions_taken=taken,
+        fdd=final_fdd,
+        store=final_store,
     )

@@ -18,11 +18,17 @@ policy so the result is minimal with respect to single-rule removals.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.exceptions import NotComprehensiveError
 from repro.analysis.equivalence import equivalent
 from repro.guard import GuardContext
 from repro.intervals import IntervalSet
 from repro.policy.firewall import Firewall
+
+if TYPE_CHECKING:
+    from repro.fdd.fdd import FDD
+    from repro.fdd.store import NodeStore
 
 __all__ = [
     "find_upward_redundant",
@@ -77,7 +83,11 @@ def _subtract_box(
 
 
 def find_redundant_rules(
-    firewall: Firewall, *, guard: GuardContext | None = None
+    firewall: Firewall,
+    *,
+    guard: GuardContext | None = None,
+    fdd: "FDD | None" = None,
+    store: "NodeStore | None" = None,
 ) -> list[int]:
     """Indices of rules that are individually redundant (complete criterion).
 
@@ -89,7 +99,21 @@ def find_redundant_rules(
     ``guard`` bounds the underlying comparison pipeline across *all*
     candidate removals (one shared budget, per the guard's accumulation
     semantics), with a checkpoint before each candidate.
+
+    The original policy's reduced FDD is built **once** (or adopted from
+    ``fdd``/``store``, e.g. the lint engine's shared diagram); each
+    candidate removal then adds only its own construction plus a memoized
+    product walk against the prebuilt diagram, all in one
+    :class:`~repro.fdd.store.NodeStore` so repeated subtrees across
+    candidates intern to the same nodes.
     """
+    from repro.fdd.fast import build_difference
+    from repro.fdd.store import NodeStore
+
+    if store is None:
+        store = NodeStore()
+    if fdd is None:
+        fdd = store.construct(firewall, guard=guard)
     redundant: list[int] = []
     for index in range(len(firewall)):
         if len(firewall) == 1:
@@ -100,7 +124,9 @@ def find_redundant_rules(
             candidate = firewall.remove(index)
         except NotComprehensiveError:
             continue
-        if equivalent(firewall, candidate, guard=guard):
+        candidate_fdd = store.construct(candidate, guard=guard)
+        difference = build_difference(fdd, candidate_fdd, guard=guard, store=store)
+        if not difference.has_discrepancy():
             redundant.append(index)
     return redundant
 

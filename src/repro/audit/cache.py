@@ -1,0 +1,270 @@
+"""The on-disk content-addressed audit result cache.
+
+Layout mirrors the serving layer's artifact store (content addressing by
+semantic fingerprint, :mod:`repro.serve`), but persisted and fanned out
+over two-level directories to stay filesystem-friendly at fleet scale::
+
+    <cache-dir>/
+      objects/<k[:2]>/<k>.json        # one audit result per key
+      fingerprints/<d[:2]>/<d>.json   # source digest -> semantic fingerprint
+
+A result's key is a pure function of **content and check set** —
+``sha256(kind, content digest(s), stage id)`` where the content digests
+are the semantic fingerprints of both diagrams for ``compare``/
+``impact`` (textually different but equivalent policies share those
+entries) and the policy's source digest for ``lint`` (whose diagnostics
+are syntactic and must not be shared across rewrites).  A changed
+policy misses (its digests moved), and a check-version bump misses
+(the stage id moved) without any explicit invalidation.  The
+fingerprint memo keyed on the *source digest* (SHA-256 of the policy
+file's bytes) is what makes warm re-audits near-free: an unchanged file
+resolves to its semantic fingerprint without constructing any FDD at
+all.
+
+Every entry carries provenance — tool name/version, check-set id, guard
+spend — and an integrity digest of its payload.  Reads verify integrity
+and shape; a corrupted, truncated, or foreign file is **counted, deleted
+and treated as a miss**, so the worst failure mode of a damaged cache is
+recomputation, never a wrong report.  Writes are atomic
+(temp-file + ``os.replace``), so a crashed audit cannot leave a torn
+entry behind either.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["CacheEntry", "ResultCache"]
+
+#: On-disk entry format; bump with any incompatible layout change.
+ENTRY_FORMAT = 1
+
+#: Provenance stamp of the writing tool.
+TOOL_NAME = "repro-audit"
+TOOL_VERSION = "1.0.0"
+
+
+def _payload_digest(payload: dict[str, Any]) -> str:
+    """Canonical SHA-256 of a JSON payload (the integrity field)."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CacheEntry:
+    """A verified cache hit: the payload plus its provenance."""
+
+    __slots__ = ("payload", "provenance")
+
+    def __init__(self, payload: dict[str, Any], provenance: dict[str, Any]) -> None:
+        self.payload = payload
+        self.provenance = provenance
+
+
+class ResultCache:
+    """Persistent content-addressed store for audit stage results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        (self.root / "fingerprints").mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+        self.fingerprint_hits = 0
+        self.fingerprint_misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(kind: str, fingerprints: tuple[str, ...], checkset_id: str) -> str:
+        """The content address of one stage result.
+
+        ``kind`` names the stage (``lint`` / ``compare`` / ``impact``),
+        ``fingerprints`` the semantic fingerprint(s) involved (one for
+        lint, the ordered ``(policy, baseline)`` pair for comparison),
+        and ``checkset_id`` the versioned check-set digest.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(kind.encode())
+        for fingerprint in fingerprints:
+            hasher.update(b"\x00")
+            hasher.update(fingerprint.encode())
+        hasher.update(b"\x01")
+        hasher.update(checkset_id.encode())
+        return hasher.hexdigest()
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def _fingerprint_path(self, digest: str) -> Path:
+        return self.root / "fingerprints" / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    # Result entries
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> CacheEntry | None:
+        """The verified entry under ``key``, or ``None`` (a miss).
+
+        Any defect — unreadable file, invalid JSON, wrong format tag,
+        missing fields, integrity mismatch — deletes the entry, counts
+        it as ``corrupt``, and misses, forcing a clean recomputation.
+        """
+        path = self._object_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard_corrupt(path)
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != ENTRY_FORMAT
+            or not isinstance(document.get("payload"), dict)
+            or not isinstance(document.get("provenance"), dict)
+            or document.get("integrity") != _payload_digest(document["payload"])
+        ):
+            self._discard_corrupt(path)
+            return None
+        self.hits += 1
+        return CacheEntry(document["payload"], document["provenance"])
+
+    def put(
+        self,
+        key: str,
+        payload: dict[str, Any],
+        *,
+        kind: str,
+        fingerprints: tuple[str, ...],
+        checkset_id: str,
+        guard_spend: dict[str, int] | None = None,
+    ) -> None:
+        """Store one stage result atomically under ``key``."""
+        provenance: dict[str, Any] = {
+            "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+            "kind": kind,
+            "fingerprints": list(fingerprints),
+            "checkset": checkset_id,
+            "guard_spend": dict(guard_spend or {}),
+        }
+        document = {
+            "format": ENTRY_FORMAT,
+            "provenance": provenance,
+            "payload": payload,
+            "integrity": _payload_digest(payload),
+        }
+        self._write_atomic(self._object_path(key), document)
+        self.stores += 1
+
+    def _discard_corrupt(self, path: Path) -> None:
+        self.corrupt += 1
+        self.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Fingerprint memo (source digest -> semantic fingerprint)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def source_digest(data: bytes) -> str:
+        """SHA-256 of a policy file's raw bytes (the memo key)."""
+        return hashlib.sha256(data).hexdigest()
+
+    def fingerprint_get(self, source_digest: str) -> str | None:
+        """The memoized semantic fingerprint for a source digest."""
+        path = self._fingerprint_path(source_digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            self.fingerprint_misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt += 1
+            self.fingerprint_misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        fingerprint = document.get("fingerprint") if isinstance(document, dict) else None
+        if not isinstance(fingerprint, str) or document.get("source") != source_digest:
+            self.corrupt += 1
+            self.fingerprint_misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.fingerprint_hits += 1
+        return fingerprint
+
+    def fingerprint_put(self, source_digest: str, fingerprint: str) -> None:
+        """Memoize ``source digest -> semantic fingerprint``."""
+        self._write_atomic(
+            self._fingerprint_path(source_digest),
+            {
+                "source": source_digest,
+                "fingerprint": fingerprint,
+                "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance and introspection
+    # ------------------------------------------------------------------
+    def _write_atomic(self, path: Path, document: dict[str, Any]) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            dir=path.parent,
+            prefix=f".{path.name}.",
+            suffix=".tmp",
+            delete=False,
+            encoding="utf-8",
+        )
+        try:
+            with handle:
+                json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def iter_keys(self) -> Iterator[str]:
+        """Every stored result key (no verification)."""
+        for path in sorted((self.root / "objects").rglob("*.json")):
+            yield path.stem
+
+    def entry_count(self) -> int:
+        """Number of stored result entries."""
+        return sum(1 for _ in self.iter_keys())
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/store/corruption counters for this cache handle."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "fingerprint_hits": self.fingerprint_hits,
+            "fingerprint_misses": self.fingerprint_misses,
+            "entries": self.entry_count(),
+        }
+
+    def __repr__(self) -> str:
+        return f"<ResultCache {self.root} {self.entry_count()} entr(ies)>"

@@ -20,6 +20,8 @@ files in the library's text format (see :mod:`repro.policy.parser`):
     $ python -m repro fingerprint policy.fw
     $ python -m repro slice policy.fw "dst_ip=192.168.0.1"
     $ python -m repro audit before.fw after.fw
+    $ python -m repro audit --manifest fleet/ --baseline golden.fw \\
+          --cache-dir .audit-cache --format sarif
 
 All commands exit 0 on success; ``compare`` and ``impact`` exit 1 when
 discrepancies exist, ``equivalent`` exits 1 when the policies differ, and
@@ -328,6 +330,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="lowest severity that makes the command exit 1 (default: error)",
     )
     lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "diff against a prior SARIF report (from 'repro lint --format"
+            " sarif'): only NEW diagnostics are reported and gate the exit"
+            " code"
+        ),
+    )
+    lint.add_argument(
         "--list-checks",
         action="store_true",
         dest="list_checks",
@@ -362,11 +374,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     audit = sub.add_parser(
-        "audit", help="Markdown audit: one policy, or a before/after change"
+        "audit",
+        help=(
+            "Markdown audit of one policy/change, or a fleet-scale audit"
+            " with --manifest"
+        ),
     )
-    audit.add_argument("policy")
+    audit.add_argument("policy", nargs="?")
     audit.add_argument(
         "after", nargs="?", help="when given, audit the change policy->after"
+    )
+    audit.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help=(
+            "fleet mode: a directory of *.fw policies or a JSON manifest"
+            " (tenants, budgets, baselines); see docs/auditing.md"
+        ),
+    )
+    audit.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="fleet-wide comparison baseline policy (per-policy baselines win)",
+    )
+    audit.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        metavar="DIR",
+        help=(
+            "content-addressed result cache: re-audits only touch changed"
+            " policies (created if missing)"
+        ),
+    )
+    audit.add_argument(
+        "--checks",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "stages to run: 'all' (default), or comma-separated from"
+            " lint,compare,impact; 'lint=FW001+FW002' restricts the lint"
+            " checks"
+        ),
+    )
+    audit.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="fmt",
+        help="aggregated report format (sarif targets SARIF 2.1.0)",
+    )
+    audit.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="supervised worker processes for uncached policies (default 1)",
+    )
+    audit.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "divergence", "never"),
+        default="error",
+        dest="fail_on",
+        help=(
+            "what makes the audit exit 1: 'error' = lint errors or"
+            " newly-allowed traffic (default), 'warning' also counts"
+            " warnings and any divergence, 'divergence' only baseline"
+            " divergence, 'never' always exits 0/5"
+        ),
+    )
+    audit.add_argument(
+        "--explain-cache",
+        action="store_true",
+        dest="explain_cache",
+        help="explain each policy's cache resolution on stderr",
     )
 
     chaos = sub.add_parser(
@@ -764,7 +846,10 @@ def _cmd_lint(args) -> int:
 
     if args.list_checks:
         for info in all_checks():
-            print(f"{info.code}  {info.name:<22} {info.severity.value:<8} {info.summary}")
+            print(
+                f"{info.code}  v{info.version}  {info.name:<22}"
+                f" {info.severity.value:<8} {info.summary}"
+            )
         return EXIT_OK
     if args.policy is None:
         print("error: a policy file is required (or pass --list-checks)", file=sys.stderr)
@@ -775,6 +860,17 @@ def _cmd_lint(args) -> int:
     report = run_lint(
         firewall, enable=args.enable, disable=args.disable, guard=guard
     )
+    if args.baseline is not None:
+        from repro.lint import load_baseline, new_findings
+
+        known = load_baseline(args.baseline)
+        total = len(report.diagnostics)
+        report = new_findings(report, known)
+        if args.fmt == "text":
+            print(
+                f"# baseline {args.baseline}: {total - len(report.diagnostics)}"
+                f" known finding(s) suppressed, {len(report.diagnostics)} new"
+            )
     render = {"text": render_text, "json": render_json, "sarif": render_sarif}[args.fmt]
     print(render(report, path=args.policy))
     if args.fail_on == "never":
@@ -834,13 +930,114 @@ def _parse_region(text: str, schema):
 
 
 def _cmd_audit(args) -> int:
+    if args.manifest is not None:
+        return _cmd_audit_fleet(args)
     from repro.analysis import audit_change, audit_policy
 
+    if args.policy is None:
+        print(
+            "error: give a policy file, or --manifest for a fleet audit",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
     if args.after is None:
         sys.stdout.write(audit_policy(load(args.policy)))
     else:
         sys.stdout.write(audit_change(load(args.policy), load(args.after)))
     return 0
+
+
+def _cmd_audit_fleet(args) -> int:
+    from repro.analysis.impact import ImpactKind
+    from repro.audit import (
+        JsonAuditWriter,
+        ResultCache,
+        SarifAuditWriter,
+        TextAuditWriter,
+        audit_fleet,
+        load_manifest,
+        resolve_checkset,
+    )
+
+    if args.policy is not None:
+        print(
+            "error: --manifest and a positional policy are mutually exclusive",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    manifest = load_manifest(args.manifest, baseline=args.baseline)
+    checkset = resolve_checkset(args.checks)
+    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    writer_cls = {
+        "text": TextAuditWriter,
+        "json": JsonAuditWriter,
+        "sarif": SarifAuditWriter,
+    }[args.fmt]
+    writer = writer_cls(sys.stdout)
+    writer.begin()
+    report = audit_fleet(
+        manifest,
+        checkset=checkset,
+        cache=cache,
+        jobs=args.jobs,
+        on_result=writer.add,
+    )
+    # Results streamed in resolution order; the report keeps manifest
+    # order for programmatic consumers.
+    writer.finish(report)
+    sys.stdout.write("\n")
+
+    if args.explain_cache:
+        for result in report.results:
+            if not result.cached:
+                why = "no cacheable stages" if result.status == "ok" else result.status
+                print(f"# cache {result.name}: {why}", file=sys.stderr)
+            elif result.fully_cached:
+                print(f"# cache {result.name}: all stages served", file=sys.stderr)
+            else:
+                computed = sorted(s for s, hit in result.cached.items() if not hit)
+                served = sorted(s for s, hit in result.cached.items() if hit)
+                print(
+                    f"# cache {result.name}: computed {', '.join(computed)}"
+                    + (f"; served {', '.join(served)}" if served else ""),
+                    file=sys.stderr,
+                )
+        if report.cache_stats is not None:
+            stats = report.cache_stats
+            print(
+                f"# cache totals: {stats['hits']} hit(s),"
+                f" {stats['misses']} miss(es), {stats['stores']} store(s),"
+                f" {stats['corrupt']} corrupt entr(ies) recomputed,"
+                f" {report.stats.fdd_constructions} FDD construction(s)",
+                file=sys.stderr,
+            )
+
+    if report.stats.errors:
+        return EXIT_ERROR
+    if report.stats.over_budget:
+        return EXIT_BUDGET_EXCEEDED
+    if args.fail_on != "never":
+        diverged = any(r.diverged for r in report.results)
+        severities = report.summary()["lint_by_severity"]
+        newly_allowed = any(
+            r.stages.get("impact", {})
+            .get("packets_by_kind", {})
+            .get(ImpactKind.NEWLY_ALLOWED, 0)
+            for r in report.results
+        )
+        failed = {
+            "divergence": diverged,
+            "error": severities["error"] > 0 or newly_allowed,
+            "warning": (
+                severities["error"] > 0
+                or severities["warning"] > 0
+                or newly_allowed
+                or diverged
+            ),
+        }[args.fail_on]
+        if failed:
+            return EXIT_DISCREPANCIES
+    return EXIT_DEGRADED if report.degradations else EXIT_OK
 
 
 def _cmd_chaos(args) -> int:

@@ -31,6 +31,12 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.lint.baseline import (
+    baseline_fingerprints,
+    diagnostic_fingerprint,
+    load_baseline,
+    new_findings,
+)
 from repro.lint.diagnostic import Diagnostic, LintReport, Severity
 from repro.lint.engine import (
     CheckInfo,
@@ -49,7 +55,11 @@ __all__ = [
     "LintReport",
     "Severity",
     "all_checks",
+    "baseline_fingerprints",
     "demo_policy_path",
+    "diagnostic_fingerprint",
+    "load_baseline",
+    "new_findings",
     "register_check",
     "render_json",
     "render_sarif",

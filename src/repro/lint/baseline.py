@@ -1,0 +1,108 @@
+"""Baseline-diff lint mode: report only *new* diagnostics.
+
+``repro lint --baseline FILE`` compares the current run against a prior
+SARIF report (produced by ``repro lint --format sarif`` or ``repro
+audit``) and keeps only findings absent from the baseline, so a CI gate
+on a legacy policy fails on regressions without demanding a clean slate
+first.
+
+Matching uses the stable ``partialFingerprints`` key every result
+carries (``reproLint/v1`` = ``<code>/<anchor rule index>``) with
+**multiset** semantics: a fingerprint occurring twice in the current run
+but once in the baseline yields exactly one new finding.  Several
+distinct findings can legitimately share a fingerprint (two correlated
+pairs anchored on the same later rule), and counting occurrences keeps
+the diff conservative in both directions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any
+
+from repro.exceptions import LintError
+from repro.lint.diagnostic import Diagnostic, LintReport
+
+__all__ = [
+    "baseline_fingerprints",
+    "diagnostic_fingerprint",
+    "load_baseline",
+    "new_findings",
+]
+
+#: The ``partialFingerprints`` property naming our stable result key.
+FINGERPRINT_KEY = "reproLint/v1"
+
+
+def diagnostic_fingerprint(diagnostic: Diagnostic) -> str:
+    """The stable identity a diagnostic carries into SARIF output.
+
+    Matches the ``reproLint/v1`` partial fingerprint emitted by
+    :func:`repro.lint.render.sarif_dict` — a pure function of the
+    diagnostic code and its anchor rule, deliberately independent of
+    source lines (an unrelated edit above a finding must not make it
+    "new") and of message wording.
+    """
+    return f"{diagnostic.code}/{diagnostic.rule_index}"
+
+
+def baseline_fingerprints(sarif: dict[str, Any]) -> Counter[str]:
+    """Extract the fingerprint multiset from a parsed SARIF log.
+
+    Results lacking a ``reproLint/v1`` partial fingerprint (e.g. reports
+    written by another tool) fall back to ``<ruleId>/None``, matching
+    whole-policy findings at least by code.
+    """
+    counts: Counter[str] = Counter()
+    for run in sarif.get("runs", ()):
+        for result in run.get("results", ()):
+            partial = result.get("partialFingerprints", {})
+            fingerprint = partial.get(FINGERPRINT_KEY)
+            if fingerprint is None:
+                fingerprint = f"{result.get('ruleId')}/None"
+            counts[fingerprint] += 1
+    return counts
+
+
+def load_baseline(path: str) -> Counter[str]:
+    """Load a prior SARIF report and return its fingerprint multiset.
+
+    Raises :class:`~repro.exceptions.LintError` for unreadable or
+    structurally non-SARIF input (clear errors beat silently empty
+    baselines, which would mark every finding new).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or "runs" not in document:
+        raise LintError(
+            f"baseline {path!r} is not a SARIF log (no 'runs' array);"
+            " generate one with 'repro lint --format sarif'"
+        )
+    return baseline_fingerprints(document)
+
+
+def new_findings(report: LintReport, baseline: Counter[str]) -> LintReport:
+    """The sub-report of diagnostics not accounted for by ``baseline``.
+
+    Order is preserved; each baseline occurrence of a fingerprint
+    absorbs one current occurrence (multiset difference).  The returned
+    report shares the run's ``checks_run`` so renderers and exit-code
+    logic treat it exactly like a normal report.
+    """
+    remaining = Counter(baseline)
+    fresh: list[Diagnostic] = []
+    for diagnostic in report.diagnostics:
+        fingerprint = diagnostic_fingerprint(diagnostic)
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            continue
+        fresh.append(diagnostic)
+    return LintReport(
+        firewall=report.firewall,
+        diagnostics=tuple(fresh),
+        checks_run=report.checks_run,
+    )

@@ -25,6 +25,8 @@ from repro.lint.diagnostic import Diagnostic, LintReport, Severity
 if TYPE_CHECKING:
     from repro.analysis.anomaly import Anomaly
     from repro.analysis.effective import EffectiveAnalysis
+    from repro.fdd.fdd import FDD
+    from repro.fdd.store import NodeStore
 
 __all__ = [
     "CheckInfo",
@@ -46,21 +48,39 @@ class CheckInfo:
     severity: Severity
     summary: str
     fn: CheckFn
+    #: Declared behaviour version.  Bump it whenever the check's findings
+    #: can change for an unchanged policy (new heuristics, message
+    #: semantics, suppression rules): cached audit results are keyed on
+    #: it, so a bump invalidates exactly this check's cache entries
+    #: (see :mod:`repro.audit.checkset`).
+    version: int = 1
 
 
 _REGISTRY: dict[str, CheckInfo] = {}
 
 
 def register_check(
-    code: str, name: str, severity: Severity, summary: str
+    code: str, name: str, severity: Severity, summary: str, *, version: int = 1
 ) -> Callable[[CheckFn], CheckFn]:
-    """Decorator registering a checker under a stable diagnostic code."""
+    """Decorator registering a checker under a stable diagnostic code.
+
+    ``version`` declares the check's behaviour version (default 1); the
+    audit cache keys on it, so bump it with any change that can alter
+    the check's findings on an unchanged policy.
+    """
 
     def decorate(fn: CheckFn) -> CheckFn:
         if code in _REGISTRY:
             raise LintError(f"diagnostic code {code} registered twice")
+        if version < 1:
+            raise LintError(f"check {code}: version must be >= 1, got {version}")
         _REGISTRY[code] = CheckInfo(
-            code=code, name=name, severity=severity, summary=summary, fn=fn
+            code=code,
+            name=name,
+            severity=severity,
+            summary=summary,
+            fn=fn,
+            version=version,
         )
         return fn
 
@@ -75,14 +95,58 @@ def all_checks() -> list[CheckInfo]:
 
 
 class LintContext:
-    """Shared, lazily computed analysis state for one lint run."""
+    """Shared, lazily computed analysis state for one lint run.
 
-    def __init__(self, firewall: Firewall, *, guard: GuardContext | None = None):
+    The expensive artefacts are computed **once per policy** and shared
+    by every check: one :class:`~repro.fdd.store.NodeStore` interns
+    every diagram the run touches, the policy's reduced FDD (``fdd``)
+    falls out of the effectiveness analysis's final append, and the
+    redundancy sweep products candidate diagrams against that same
+    prebuilt FDD instead of reconstructing the policy per candidate.
+    Callers that already hold the policy's diagram — the audit pipeline
+    fingerprints it first — seed the context with ``store``/``fdd`` so
+    the lint run constructs nothing it was handed.
+    """
+
+    def __init__(
+        self,
+        firewall: Firewall,
+        *,
+        guard: GuardContext | None = None,
+        store: "NodeStore | None" = None,
+        fdd: "FDD | None" = None,
+    ):
         self.firewall = firewall
         self.guard = guard
+        self._store = store
+        self._fdd = fdd
         self._effective: EffectiveAnalysis | None = None
         self._anomalies: list[Anomaly] | None = None
         self._redundant: frozenset[int] | None = None
+
+    @property
+    def store(self) -> "NodeStore":
+        """The run's shared node store (every diagram interns here)."""
+        if self._store is None:
+            from repro.fdd.store import NodeStore
+
+            self._store = NodeStore()
+        return self._store
+
+    @property
+    def fdd(self) -> "FDD":
+        """The policy's canonical reduced FDD (constructed at most once).
+
+        Prefers the final diagram of the effectiveness analysis — a free
+        by-product of its incremental construction — so a run that needs
+        both pays for one construction total.
+        """
+        if self._fdd is None:
+            if self._effective is not None and self._effective.fdd is not None:
+                self._fdd = self._effective.fdd
+            else:
+                self._fdd = self.store.construct(self.firewall, guard=self.guard)
+        return self._fdd
 
     @property
     def effective(self) -> "EffectiveAnalysis":
@@ -90,7 +154,11 @@ class LintContext:
         if self._effective is None:
             from repro.analysis.effective import effective_rules
 
-            self._effective = effective_rules(self.firewall, guard=self.guard)
+            self._effective = effective_rules(
+                self.firewall, guard=self.guard, store=self.store
+            )
+            if self._fdd is None:
+                self._fdd = self._effective.fdd
         return self._effective
 
     @property
@@ -109,12 +177,22 @@ class LintContext:
 
     @property
     def redundant(self) -> frozenset[int]:
-        """Indices removable without changing semantics (computed once)."""
+        """Indices removable without changing semantics (computed once).
+
+        Runs against the shared prebuilt FDD: each candidate removal
+        costs one candidate construction plus a memoized product walk —
+        the policy itself is never reconstructed.
+        """
         if self._redundant is None:
             from repro.analysis.redundancy import find_redundant_rules
 
             self._redundant = frozenset(
-                find_redundant_rules(self.firewall, guard=self.guard)
+                find_redundant_rules(
+                    self.firewall,
+                    guard=self.guard,
+                    fdd=self.fdd,
+                    store=self.store,
+                )
             )
         return self._redundant
 
@@ -221,15 +299,24 @@ def run_lint(
     enable: Iterable[str] | None = None,
     disable: Iterable[str] | None = None,
     guard: GuardContext | None = None,
+    context: LintContext | None = None,
 ) -> LintReport:
     """Run the registered checks over ``firewall`` and collect findings.
 
     Diagnostics are ordered by (anchor rule, code) so output is stable
     under check-registration order.  See ``docs/linting.md`` for the
     check catalog and :mod:`repro.lint.render` for the output formats.
+
+    ``context`` lets a caller that already computed shared artefacts (a
+    node store, the policy's reduced FDD) hand them to the run — the
+    audit pipeline lints with the same diagram it fingerprinted.  The
+    context's firewall must be ``firewall``.
     """
     checks = selected_checks(enable, disable)
-    context = LintContext(firewall, guard=guard)
+    if context is None:
+        context = LintContext(firewall, guard=guard)
+    elif context.firewall is not firewall:
+        raise LintError("run_lint context was built for a different firewall")
     found: list[Diagnostic] = []
     for info in checks:
         if guard is not None:

@@ -63,6 +63,11 @@ def render_json(report: LintReport, *, path: str | None = None) -> str:
             "rules": len(report.firewall),
         },
         "checks_run": list(report.checks_run),
+        "check_versions": {
+            info.code: info.version
+            for info in all_checks()
+            if info.code in report.checks_run
+        },
         "summary": report.counts(),
         "diagnostics": [d.to_dict() for d in report.diagnostics],
     }
@@ -86,6 +91,7 @@ def sarif_dict(report: LintReport, *, path: str | None = None) -> dict[str, Any]
             "shortDescription": {"text": info.summary},
             "defaultConfiguration": {"level": info.severity.sarif_level},
             "helpUri": TOOL_URI,
+            "properties": {"version": info.version},
         }
         for info in all_checks()
     ]

@@ -1,0 +1,51 @@
+"""Shared fixtures for the fleet audit tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+POLICY_DIVERGED = """\
+firewall "diverged" schema=standard
+src_ip=10.0.0.0/8 -> discard
+any -> accept
+"""
+
+POLICY_CLEAN = """\
+firewall "clean" schema=standard
+any -> accept
+"""
+
+#: Opens a hole relative to BASELINE_STRICT (newly-allowed traffic).
+POLICY_OPEN = """\
+firewall "open" schema=standard
+any -> accept
+"""
+
+BASELINE_ACCEPT = """\
+firewall "baseline" schema=standard
+any -> accept
+"""
+
+BASELINE_STRICT = """\
+firewall "strict" schema=standard
+src_ip=10.0.0.0/8 -> discard
+any -> accept
+"""
+
+
+@pytest.fixture
+def fleet(tmp_path: Path) -> Path:
+    """A two-tenant directory fleet plus a fleet-wide baseline file."""
+    root = tmp_path / "fleet"
+    (root / "team-a").mkdir(parents=True)
+    (root / "team-a" / "edge.fw").write_text(POLICY_DIVERGED)
+    (root / "core.fw").write_text(POLICY_CLEAN)
+    (tmp_path / "baseline.fw").write_text(BASELINE_ACCEPT)
+    return root
+
+
+@pytest.fixture
+def baseline(tmp_path: Path, fleet: Path) -> Path:
+    return tmp_path / "baseline.fw"

@@ -1,0 +1,178 @@
+"""The content-addressed result cache: keys, integrity, corruption."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.audit.cache import ENTRY_FORMAT, ResultCache
+
+
+@pytest.fixture
+def cache(tmp_path: Path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+PAYLOAD = {"diagnostics": [{"code": "FW001"}], "summary": {"error": 0}}
+
+
+def put_one(cache: ResultCache, key: str) -> None:
+    cache.put(
+        key,
+        PAYLOAD,
+        kind="lint",
+        fingerprints=("f" * 64,),
+        checkset_id="cs1",
+        guard_spend={"nodes_expanded": 7},
+    )
+
+
+class TestKeys:
+    def test_deterministic(self):
+        a = ResultCache.key("lint", ("fp1",), "cs1")
+        assert a == ResultCache.key("lint", ("fp1",), "cs1")
+
+    @pytest.mark.parametrize(
+        "kind, fingerprints, checkset",
+        [
+            ("compare", ("fp1",), "cs1"),  # kind differs
+            ("lint", ("fp2",), "cs1"),  # fingerprint differs
+            ("lint", ("fp1", "fp2"), "cs1"),  # arity differs
+            ("lint", ("fp1",), "cs2"),  # check-set version differs
+        ],
+    )
+    def test_every_component_keys(self, kind, fingerprints, checkset):
+        assert ResultCache.key(kind, fingerprints, checkset) != ResultCache.key(
+            "lint", ("fp1",), "cs1"
+        )
+
+    def test_fingerprint_order_matters(self):
+        # (policy, baseline) is ordered: a comparison A-vs-B is not B-vs-A.
+        assert ResultCache.key("compare", ("a", "b"), "cs") != ResultCache.key(
+            "compare", ("b", "a"), "cs"
+        )
+
+    def test_no_concatenation_ambiguity(self):
+        assert ResultCache.key("lint", ("ab", "c"), "cs") != ResultCache.key(
+            "lint", ("a", "bc"), "cs"
+        )
+
+
+class TestEntries:
+    def test_roundtrip_with_provenance(self, cache: ResultCache):
+        key = ResultCache.key("lint", ("fp",), "cs")
+        put_one(cache, key)
+        entry = cache.get(key)
+        assert entry is not None
+        assert entry.payload == PAYLOAD
+        assert entry.provenance["kind"] == "lint"
+        assert entry.provenance["checkset"] == "cs1"
+        assert entry.provenance["guard_spend"] == {"nodes_expanded": 7}
+        assert entry.provenance["tool"]["name"] == "repro-audit"
+        assert cache.stats()["hits"] == 1
+
+    def test_miss_counts(self, cache: ResultCache):
+        assert cache.get("0" * 64) is None
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["corrupt"] == 0
+
+    def _entry_path(self, cache: ResultCache, key: str) -> Path:
+        return cache.root / "objects" / key[:2] / f"{key}.json"
+
+    def test_tampered_payload_detected_and_discarded(self, cache: ResultCache):
+        key = ResultCache.key("lint", ("fp",), "cs")
+        put_one(cache, key)
+        path = self._entry_path(cache, key)
+        document = json.loads(path.read_text())
+        document["payload"]["summary"] = {"error": 999}
+        path.write_text(json.dumps(document))
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert not path.exists(), "corrupt entries are deleted for recomputation"
+
+    def test_truncated_entry_detected(self, cache: ResultCache):
+        key = ResultCache.key("lint", ("fp",), "cs")
+        put_one(cache, key)
+        path = self._entry_path(cache, key)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+
+    def test_wrong_format_tag_detected(self, cache: ResultCache):
+        key = ResultCache.key("lint", ("fp",), "cs")
+        put_one(cache, key)
+        path = self._entry_path(cache, key)
+        document = json.loads(path.read_text())
+        document["format"] = ENTRY_FORMAT + 1
+        path.write_text(json.dumps(document))
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_non_object_entry_detected(self, cache: ResultCache):
+        key = "a" * 64
+        path = self._entry_path(cache, key)
+        path.parent.mkdir(parents=True)
+        path.write_text('["not", "an", "entry"]')
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_overwrite_is_atomic_replace(self, cache: ResultCache):
+        key = ResultCache.key("lint", ("fp",), "cs")
+        put_one(cache, key)
+        cache.put(
+            key,
+            {"other": 1},
+            kind="lint",
+            fingerprints=("fp",),
+            checkset_id="cs1",
+        )
+        entry = cache.get(key)
+        assert entry is not None and entry.payload == {"other": 1}
+        leftovers = list((cache.root / "objects").rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_iter_and_count(self, cache: ResultCache):
+        keys = {ResultCache.key("lint", (f"fp{i}",), "cs") for i in range(5)}
+        for key in keys:
+            put_one(cache, key)
+        assert set(cache.iter_keys()) == keys
+        assert cache.entry_count() == 5
+
+
+class TestFingerprintMemo:
+    def test_roundtrip(self, cache: ResultCache):
+        digest = ResultCache.source_digest(b"policy bytes")
+        assert cache.fingerprint_get(digest) is None
+        cache.fingerprint_put(digest, "deadbeef")
+        assert cache.fingerprint_get(digest) == "deadbeef"
+        assert cache.stats()["fingerprint_hits"] == 1
+        assert cache.stats()["fingerprint_misses"] == 1
+
+    def test_source_digest_is_content_hash(self):
+        assert ResultCache.source_digest(b"x") == ResultCache.source_digest(b"x")
+        assert ResultCache.source_digest(b"x") != ResultCache.source_digest(b"y")
+
+    def test_corrupt_memo_discarded(self, cache: ResultCache):
+        digest = ResultCache.source_digest(b"policy")
+        cache.fingerprint_put(digest, "cafe")
+        path = cache.root / "fingerprints" / digest[:2] / f"{digest}.json"
+        path.write_text("{ truncated")
+        assert cache.fingerprint_get(digest) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+
+    def test_memo_for_wrong_digest_discarded(self, cache: ResultCache):
+        # An entry whose recorded source digest disagrees with its
+        # filename (e.g. a manually moved file) must not be trusted.
+        digest_a = ResultCache.source_digest(b"a")
+        digest_b = ResultCache.source_digest(b"b")
+        cache.fingerprint_put(digest_a, "fp-a")
+        src = cache.root / "fingerprints" / digest_a[:2] / f"{digest_a}.json"
+        dst = cache.root / "fingerprints" / digest_b[:2] / f"{digest_b}.json"
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_text(src.read_text())
+        assert cache.fingerprint_get(digest_b) is None
+        assert cache.corrupt == 1

@@ -1,0 +1,107 @@
+"""Check sets: spec parsing, versioned ids, invalidation semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.checkset import (
+    STAGE_VERSIONS,
+    STAGES,
+    AuditCheckSetError,
+    CheckSet,
+    resolve_checkset,
+)
+from repro.lint import all_checks
+
+
+class TestResolve:
+    @pytest.mark.parametrize("spec", [None, "all", "", "lint,compare,impact"])
+    def test_default_enables_everything(self, spec):
+        checkset = resolve_checkset(spec)
+        assert checkset.stages == STAGES
+        assert checkset.lint_codes == tuple(
+            sorted(info.code for info in all_checks())
+        )
+
+    def test_lint_only(self):
+        checkset = resolve_checkset("lint")
+        assert checkset.stages == ("lint",)
+
+    def test_lint_selection(self):
+        checkset = resolve_checkset("lint=FW001+FW003,compare")
+        assert checkset.stages == ("lint", "compare")
+        assert checkset.lint_codes == ("FW001", "FW003")
+        versions = dict(checkset.lint_checks)
+        assert all(version >= 1 for version in versions.values())
+
+    def test_selection_accepts_check_names(self):
+        checkset = resolve_checkset("lint=shadowed-rule")
+        assert checkset.lint_codes == ("FW001",)
+
+    def test_stage_order_is_canonical(self):
+        assert resolve_checkset("compare,lint").stages == ("lint", "compare")
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(AuditCheckSetError, match="unknown audit stage"):
+            resolve_checkset("lint,typo")
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(AuditCheckSetError, match="unknown check"):
+            resolve_checkset("lint=FW999")
+
+    def test_duplicate_stage_rejected(self):
+        with pytest.raises(AuditCheckSetError, match="twice"):
+            resolve_checkset("lint,lint")
+
+    def test_impact_requires_compare(self):
+        with pytest.raises(AuditCheckSetError, match="compare"):
+            resolve_checkset("lint,impact")
+
+    def test_selection_on_non_lint_stage_rejected(self):
+        with pytest.raises(AuditCheckSetError, match="no check selection"):
+            resolve_checkset("compare=FW001")
+
+
+class TestIds:
+    def test_id_is_stable(self):
+        assert resolve_checkset().id == resolve_checkset("all").id
+
+    def test_id_reflects_stage_selection(self):
+        assert resolve_checkset("lint").id != resolve_checkset("all").id
+
+    def test_id_reflects_lint_selection(self):
+        assert resolve_checkset("lint").id != resolve_checkset("lint=FW001").id
+
+    def test_check_version_bump_changes_ids(self):
+        base = resolve_checkset("lint")
+        bumped_checks = tuple(
+            (code, version + 1 if code == "FW001" else version)
+            for code, version in base.lint_checks
+        )
+        bumped = CheckSet(stages=base.stages, lint_checks=bumped_checks)
+        assert bumped.id != base.id
+        assert bumped.stage_id("lint") != base.stage_id("lint")
+
+    def test_stage_id_isolated_from_other_stages(self):
+        # Toggling compare/impact must not invalidate cached lint results.
+        lint_only = resolve_checkset("lint")
+        everything = resolve_checkset("all")
+        assert lint_only.stage_id("lint") == everything.stage_id("lint")
+
+    def test_stage_id_tracks_stage_version(self, monkeypatch):
+        before = resolve_checkset("all").stage_id("compare")
+        monkeypatch.setitem(STAGE_VERSIONS, "compare", STAGE_VERSIONS["compare"] + 1)
+        after = resolve_checkset("all").stage_id("compare")
+        assert before != after
+
+    def test_stage_id_requires_enabled_stage(self):
+        with pytest.raises(AuditCheckSetError, match="not enabled"):
+            resolve_checkset("lint").stage_id("compare")
+
+    def test_describe_is_json_ready(self):
+        description = resolve_checkset("all").describe()
+        assert description["stages"] == list(STAGES)
+        assert set(description["lint_checks"]) == set(
+            info.code for info in all_checks()
+        )
+        assert description["id"] == resolve_checkset("all").id

@@ -1,0 +1,94 @@
+"""Acceptance: a 50+ policy synthetic fleet, end to end.
+
+Exercises ISSUE acceptance criteria: the aggregated SARIF document is
+schema-valid, and an immediate re-audit against a warm cache performs
+zero FDD constructions for unchanged policies, runs at least 10x
+faster, and reports byte-identical diagnostics.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.audit import (
+    ResultCache,
+    audit_fleet,
+    load_manifest,
+    render_audit_sarif,
+)
+from repro.policy import dumps
+from repro.synth import SyntheticFirewallGenerator
+
+FLEET_SIZE = 52
+SCHEMA_PATH = (
+    Path(__file__).resolve().parent.parent / "lint" / "sarif-2.1.0-subset.schema.json"
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_dir(tmp_path_factory) -> Path:
+    root = tmp_path_factory.mktemp("synthetic-fleet")
+    for index in range(FLEET_SIZE):
+        generator = SyntheticFirewallGenerator(seed=1000 + index)
+        firewall = generator.generate(6, name=f"synthetic-{index:03d}")
+        tenant = root / f"tenant-{index % 4}"
+        tenant.mkdir(exist_ok=True)
+        (tenant / f"policy-{index:03d}.fw").write_text(dumps(firewall, "standard"))
+    baseline = SyntheticFirewallGenerator(seed=999).generate(6, name="golden")
+    (root / "golden.fw").write_text(dumps(baseline, "standard"))
+    return root
+
+
+def test_fleet_scale_cold_warm(fleet_dir: Path, tmp_path: Path):
+    manifest = load_manifest(
+        fleet_dir, baseline=str(fleet_dir / "golden.fw")
+    )
+    assert len(manifest.entries) == FLEET_SIZE + 1  # golden.fw audits itself too
+
+    started = time.perf_counter()
+    cold = audit_fleet(manifest, cache=ResultCache(tmp_path / "cache"))
+    cold_elapsed = time.perf_counter() - started
+
+    assert cold.stats.policies == FLEET_SIZE + 1
+    assert cold.stats.errors == 0
+    assert cold.stats.fdd_constructions >= FLEET_SIZE
+
+    started = time.perf_counter()
+    warm = audit_fleet(manifest, cache=ResultCache(tmp_path / "cache"))
+    warm_elapsed = time.perf_counter() - started
+
+    # Zero FDD constructions for unchanged policies, verified via stats.
+    assert warm.stats.fdd_constructions == 0
+    assert warm.stats.fully_cached == warm.stats.policies
+    assert warm.cache_stats["misses"] == 0
+    assert warm.cache_stats["fingerprint_misses"] == 0
+
+    # The warm audit must be at least 10x faster than the cold one.
+    assert warm_elapsed * 10 <= cold_elapsed, (
+        f"warm {warm_elapsed:.3f}s vs cold {cold_elapsed:.3f}s"
+    )
+
+    # Diagnostic parity: identical stage payloads and SARIF results.
+    assert {r.name: r.stages for r in cold.results} == {
+        r.name: r.stages for r in warm.results
+    }
+    cold_sarif = json.loads(render_audit_sarif(cold))
+    warm_sarif = json.loads(render_audit_sarif(warm))
+    assert cold_sarif["runs"][0]["results"] == warm_sarif["runs"][0]["results"]
+
+
+def test_fleet_scale_sarif_is_schema_valid(fleet_dir: Path):
+    jsonschema = pytest.importorskip("jsonschema")
+    manifest = load_manifest(fleet_dir, baseline=str(fleet_dir / "golden.fw"))
+    report = audit_fleet(manifest)
+    sarif = json.loads(render_audit_sarif(report))
+    schema = json.loads(SCHEMA_PATH.read_text())
+    validator_cls = jsonschema.validators.validator_for(schema)
+    validator_cls.check_schema(schema)
+    errors = list(validator_cls(schema).iter_errors(sarif))
+    assert not errors, "\n".join(e.message for e in errors)
+    assert len(sarif["runs"][0]["artifacts"]) == FLEET_SIZE + 1

@@ -1,0 +1,121 @@
+"""Fleet manifests: directory scans, JSON manifests, tenant budgets."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.audit.manifest import (
+    AuditManifestError,
+    TenantBudget,
+    load_manifest,
+)
+from tests.audit.conftest import BASELINE_ACCEPT, POLICY_CLEAN, POLICY_DIVERGED
+
+
+class TestDirectoryManifest:
+    def test_scan_is_recursive_sorted_and_tenanted(self, fleet: Path):
+        manifest = load_manifest(fleet)
+        assert [entry.name for entry in manifest.entries] == [
+            "core.fw",
+            "team-a/edge.fw",
+        ]
+        assert [entry.tenant for entry in manifest.entries] == ["default", "team-a"]
+        assert all(Path(entry.path).is_absolute() for entry in manifest.entries)
+
+    def test_cli_baseline_applies_fleet_wide(self, fleet: Path, baseline: Path):
+        manifest = load_manifest(fleet, baseline=str(baseline))
+        for entry in manifest.entries:
+            assert manifest.baseline_for(entry) == str(baseline.resolve())
+
+    def test_no_baseline_by_default(self, fleet: Path):
+        manifest = load_manifest(fleet)
+        assert manifest.baseline is None
+
+    def test_empty_directory_rejected(self, tmp_path: Path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(AuditManifestError, match="no policies"):
+            load_manifest(tmp_path / "empty")
+
+    def test_missing_path_rejected(self, tmp_path: Path):
+        with pytest.raises(AuditManifestError, match="not found"):
+            load_manifest(tmp_path / "nowhere")
+
+    def test_missing_cli_baseline_rejected(self, fleet: Path, tmp_path: Path):
+        with pytest.raises(AuditManifestError, match="baseline"):
+            load_manifest(fleet, baseline=str(tmp_path / "ghost.fw"))
+
+
+class TestJsonManifest:
+    def write(self, tmp_path: Path, document: dict) -> Path:
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_full_manifest(self, tmp_path: Path):
+        (tmp_path / "a.fw").write_text(POLICY_DIVERGED)
+        (tmp_path / "b.fw").write_text(POLICY_CLEAN)
+        (tmp_path / "golden.fw").write_text(BASELINE_ACCEPT)
+        path = self.write(
+            tmp_path,
+            {
+                "baseline": "golden.fw",
+                "tenants": {"team-a": {"max_nodes": 1000, "deadline_s": 2.5}},
+                "policies": [
+                    {"path": "b.fw"},
+                    {"path": "a.fw", "tenant": "team-a", "baseline": "b.fw"},
+                ],
+            },
+        )
+        manifest = load_manifest(path)
+        assert [e.name for e in manifest.entries] == ["a.fw", "b.fw"]
+        entry_a, entry_b = manifest.entries
+        # Per-policy baseline wins; others inherit the fleet baseline.
+        assert manifest.baseline_for(entry_a).endswith("b.fw")
+        assert manifest.baseline_for(entry_b).endswith("golden.fw")
+        assert manifest.tenants["team-a"] == TenantBudget(
+            max_nodes=1000, deadline_s=2.5
+        )
+        budget = manifest.budget_for(entry_a)
+        assert budget is not None and budget.max_nodes == 1000
+        assert manifest.budget_for(entry_b) is None
+
+    def test_tenant_budget_roundtrip(self):
+        assert TenantBudget().to_budget() is None
+        budget = TenantBudget(max_nodes=5).to_budget()
+        assert budget is not None and budget.max_nodes == 5
+
+    def test_invalid_json_rejected(self, tmp_path: Path):
+        path = tmp_path / "fleet.json"
+        path.write_text("{ nope")
+        with pytest.raises(AuditManifestError, match="not valid JSON"):
+            load_manifest(path)
+
+    def test_unknown_budget_keys_rejected(self, tmp_path: Path):
+        (tmp_path / "a.fw").write_text(POLICY_CLEAN)
+        path = self.write(
+            tmp_path,
+            {
+                "tenants": {"t": {"max_nodez": 1}},
+                "policies": [{"path": "a.fw"}],
+            },
+        )
+        with pytest.raises(AuditManifestError, match="unknown budget keys"):
+            load_manifest(path)
+
+    def test_missing_policy_file_rejected(self, tmp_path: Path):
+        path = self.write(tmp_path, {"policies": [{"path": "ghost.fw"}]})
+        with pytest.raises(AuditManifestError, match="not found"):
+            load_manifest(path)
+
+    def test_entry_without_path_rejected(self, tmp_path: Path):
+        path = self.write(tmp_path, {"policies": [{"tenant": "t"}]})
+        with pytest.raises(AuditManifestError, match="'path'"):
+            load_manifest(path)
+
+    def test_empty_policy_list_rejected(self, tmp_path: Path):
+        path = self.write(tmp_path, {"policies": []})
+        with pytest.raises(AuditManifestError, match="no policies"):
+            load_manifest(path)

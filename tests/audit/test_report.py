@@ -1,0 +1,135 @@
+"""Fleet report rendering: SARIF validity, streaming parity, JSON, text."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.audit import (
+    ResultCache,
+    SarifAuditWriter,
+    audit_fleet,
+    load_manifest,
+    render_audit_json,
+    render_audit_sarif,
+    render_audit_text,
+)
+
+SCHEMA_PATH = (
+    Path(__file__).resolve().parent.parent / "lint" / "sarif-2.1.0-subset.schema.json"
+)
+
+
+@pytest.fixture
+def report(fleet, baseline):
+    return audit_fleet(load_manifest(fleet, baseline=str(baseline)))
+
+
+class TestSarif:
+    def test_document_shape(self, report):
+        sarif = json.loads(render_audit_sarif(report))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-audit"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"AUDIT001", "AUDIT002", "AUDIT003", "AUDIT004"} <= rule_ids
+        assert "FW001" in rule_ids, "lint catalog rides along"
+
+    def test_schema_valid(self, report):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SCHEMA_PATH.read_text())
+        validator_cls = jsonschema.validators.validator_for(schema)
+        validator_cls.check_schema(schema)
+        sarif = json.loads(render_audit_sarif(report))
+        errors = list(validator_cls(schema).iter_errors(sarif))
+        assert not errors, "\n".join(e.message for e in errors)
+
+    def test_divergence_results_present(self, report):
+        sarif = json.loads(render_audit_sarif(report))
+        results = sarif["runs"][0]["results"]
+        by_rule: dict[str, int] = {}
+        for result in results:
+            by_rule[result["ruleId"]] = by_rule.get(result["ruleId"], 0) + 1
+        assert by_rule.get("AUDIT001") == 1  # one diverged policy
+        assert by_rule.get("AUDIT003", 0) >= 1  # its newly-blocked sample
+        divergence = next(r for r in results if r["ruleId"] == "AUDIT001")
+        assert divergence["level"] == "warning"
+        assert divergence["partialFingerprints"]
+        uri = divergence["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri.endswith("edge.fw")
+
+    def test_artifacts_cover_every_policy(self, report):
+        sarif = json.loads(render_audit_sarif(report))
+        uris = [a["location"]["uri"] for a in sarif["runs"][0]["artifacts"]]
+        assert len(uris) == 2
+        assert any(uri.endswith("core.fw") for uri in uris)
+
+    def test_streaming_writer_matches_batch_render(self, fleet, baseline):
+        manifest = load_manifest(fleet, baseline=str(baseline))
+        stream = io.StringIO()
+        writer = SarifAuditWriter(stream)
+        writer.begin()
+        report = audit_fleet(manifest, on_result=writer.add)
+        writer.finish(report)
+        assert stream.getvalue() == render_audit_sarif(report)
+        json.loads(stream.getvalue())  # and it is well-formed JSON
+
+    def test_cold_and_warm_sarif_diagnostics_identical(
+        self, fleet, baseline, tmp_path
+    ):
+        manifest = load_manifest(fleet, baseline=str(baseline))
+        cold = audit_fleet(manifest, cache=ResultCache(tmp_path / "c"))
+        warm = audit_fleet(manifest, cache=ResultCache(tmp_path / "c"))
+        cold_run = json.loads(render_audit_sarif(cold))["runs"][0]
+        warm_run = json.loads(render_audit_sarif(warm))["runs"][0]
+        assert cold_run["results"] == warm_run["results"]
+        assert cold_run["artifacts"] == warm_run["artifacts"]
+
+    def test_failed_policy_becomes_tool_notification(self, fleet, baseline):
+        (fleet / "broken.fw").write_text("firewall schema=standard\nbogus\n")
+        report = audit_fleet(load_manifest(fleet, baseline=str(baseline)))
+        sarif = json.loads(render_audit_sarif(report))
+        notifications = sarif["runs"][0]["invocations"][0][
+            "toolExecutionNotifications"
+        ]
+        assert len(notifications) == 1
+        assert notifications[0]["level"] == "error"
+        assert "broken.fw" in notifications[0]["message"]["text"]
+
+
+class TestJson:
+    def test_document_shape(self, report):
+        document = json.loads(render_audit_json(report))
+        assert document["tool"]["name"] == "repro-audit"
+        assert len(document["policies"]) == 2
+        assert document["summary"]["policies"] == 2
+        assert document["checkset"]["stages"] == ["lint", "compare", "impact"]
+        policy = next(
+            p for p in document["policies"] if p["name"] == "team-a/edge.fw"
+        )
+        assert policy["stages"]["compare"]["equivalent"] is False
+        assert policy["fingerprint"]
+
+    def test_cache_stats_embedded_when_caching(self, fleet, baseline, tmp_path):
+        manifest = load_manifest(fleet, baseline=str(baseline))
+        report = audit_fleet(manifest, cache=ResultCache(tmp_path / "c"))
+        document = json.loads(render_audit_json(report))
+        assert document["cache"]["stores"] > 0
+
+
+class TestText:
+    def test_mentions_policies_and_divergence(self, report):
+        text = render_audit_text(report)
+        assert "team-a/edge.fw" in text
+        assert "core.fw" in text
+        assert "1 diverged" in text
+        assert "2 policies" in text
+
+    def test_cached_marker_on_warm_run(self, fleet, baseline, tmp_path):
+        manifest = load_manifest(fleet, baseline=str(baseline))
+        audit_fleet(manifest, cache=ResultCache(tmp_path / "c"))
+        warm = audit_fleet(manifest, cache=ResultCache(tmp_path / "c"))
+        assert "[cached]" in render_audit_text(warm)

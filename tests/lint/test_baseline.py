@@ -1,0 +1,148 @@
+"""Baseline-diff lint mode: fingerprints, multiset diffing, CLI gating."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import LintError
+from repro.lint import (
+    baseline_fingerprints,
+    diagnostic_fingerprint,
+    load_baseline,
+    new_findings,
+    run_lint,
+    sarif_dict,
+)
+from repro.policy import loads
+
+SHADOWED = """\
+firewall "shadowed" schema=standard
+src_ip=10.0.0.0/8 -> accept
+src_ip=10.1.0.0/16 -> discard
+any -> discard
+"""
+
+SHADOWED_TWICE = """\
+firewall "shadowed" schema=standard
+src_ip=10.0.0.0/8 -> accept
+src_ip=10.1.0.0/16 -> discard
+src_ip=10.2.0.0/16 -> discard
+any -> discard
+"""
+
+
+def sarif_for(text: str) -> dict:
+    firewall = loads(text)
+    return sarif_dict(run_lint(firewall), path="policy.fw")
+
+
+class TestFingerprints:
+    def test_matches_sarif_partial_fingerprint(self):
+        report = run_lint(loads(SHADOWED))
+        assert report.diagnostics, "fixture must produce findings"
+        sarif = sarif_dict(report, path="policy.fw")
+        emitted = [
+            result["partialFingerprints"]["reproLint/v1"]
+            for result in sarif["runs"][0]["results"]
+        ]
+        assert emitted == [
+            diagnostic_fingerprint(d) for d in report.diagnostics
+        ]
+
+    def test_stable_under_unrelated_line_shift(self):
+        # The same finding anchored on the same rule index fingerprints
+        # identically even when source lines move.
+        first = run_lint(loads(SHADOWED)).diagnostics[0]
+        assert diagnostic_fingerprint(first) == f"{first.code}/{first.rule_index}"
+
+
+class TestBaselineExtraction:
+    def test_multiset_semantics(self):
+        counts = baseline_fingerprints(sarif_for(SHADOWED_TWICE))
+        assert sum(counts.values()) == len(
+            run_lint(loads(SHADOWED_TWICE)).diagnostics
+        )
+
+    def test_foreign_results_fall_back_to_rule_id(self):
+        foreign = {
+            "runs": [
+                {"results": [{"ruleId": "XX001", "message": {"text": "hi"}}]}
+            ]
+        }
+        assert baseline_fingerprints(foreign) == Counter({"XX001/None": 1})
+
+    def test_load_baseline_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "base.sarif"
+        path.write_text("{ nope")
+        with pytest.raises(LintError, match="not valid JSON"):
+            load_baseline(str(path))
+
+    def test_load_baseline_rejects_non_sarif(self, tmp_path):
+        path = tmp_path / "base.sarif"
+        path.write_text('{"policies": []}')
+        with pytest.raises(LintError, match="not a SARIF log"):
+            load_baseline(str(path))
+
+
+class TestNewFindings:
+    def test_identical_run_yields_no_new_findings(self):
+        report = run_lint(loads(SHADOWED))
+        baseline = baseline_fingerprints(sarif_for(SHADOWED))
+        assert new_findings(report, baseline).diagnostics == ()
+
+    def test_new_finding_survives_diff(self):
+        report = run_lint(loads(SHADOWED_TWICE))
+        baseline = baseline_fingerprints(sarif_for(SHADOWED))
+        fresh = new_findings(report, baseline)
+        assert 0 < len(fresh.diagnostics) < len(report.diagnostics)
+
+    def test_each_baseline_occurrence_absorbs_one(self):
+        report = run_lint(loads(SHADOWED))
+        fingerprint = diagnostic_fingerprint(report.diagnostics[0])
+        fresh = new_findings(report, Counter({fingerprint: 1}))
+        assert len(fresh.diagnostics) == len(report.diagnostics) - 1
+
+    def test_checks_run_preserved(self):
+        report = run_lint(loads(SHADOWED))
+        fresh = new_findings(report, Counter())
+        assert fresh.checks_run == report.checks_run
+
+
+class TestCli:
+    def write_policy(self, tmp_path, text):
+        path = tmp_path / "policy.fw"
+        path.write_text(text)
+        return str(path)
+
+    def test_exit_reflects_new_findings_only(self, tmp_path, capsys):
+        policy = self.write_policy(tmp_path, SHADOWED)
+        assert main(["lint", policy, "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+        assert main(["lint", policy, "--format", "sarif", "--fail-on", "never"]) == 0
+        baseline = tmp_path / "base.sarif"
+        baseline.write_text(capsys.readouterr().out)
+
+        # Same policy against its own baseline: nothing new, exit 0.
+        code = main(
+            ["lint", policy, "--fail-on", "warning", "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "known finding(s) suppressed" in capsys.readouterr().out
+
+        # A regression produces a new finding and fails again.
+        policy2 = self.write_policy(tmp_path, SHADOWED_TWICE)
+        code = main(
+            ["lint", policy2, "--fail-on", "warning", "--baseline", str(baseline)]
+        )
+        assert code == 1
+
+    def test_bad_baseline_is_a_usage_error(self, tmp_path, capsys):
+        policy = self.write_policy(tmp_path, SHADOWED)
+        bad = tmp_path / "bad.sarif"
+        bad.write_text("not json")
+        assert main(["lint", policy, "--baseline", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err

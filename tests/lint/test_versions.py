@@ -1,0 +1,79 @@
+"""Check versioning and single-construction guarantees of the engine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fdd.store import NodeStore
+from repro.lint import (
+    LintContext,
+    all_checks,
+    render_json,
+    run_lint,
+    sarif_dict,
+)
+from repro.policy import loads
+
+POLICY = """\
+firewall "p" schema=standard
+src_ip=10.0.0.0/8 -> accept
+src_ip=10.1.0.0/16 -> discard
+any -> discard
+"""
+
+
+class TestDeclaredVersions:
+    def test_every_check_declares_a_version(self):
+        for info in all_checks():
+            assert info.version >= 1, info.code
+
+    def test_versions_surface_in_sarif_rule_properties(self):
+        sarif = sarif_dict(run_lint(loads(POLICY)), path="p.fw")
+        rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+        by_code = {rule["id"]: rule for rule in rules}
+        for info in all_checks():
+            assert by_code[info.code]["properties"]["version"] == info.version
+
+    def test_versions_surface_in_json_report(self):
+        document = json.loads(render_json(run_lint(loads(POLICY)), path="p.fw"))
+        versions = document["check_versions"]
+        assert versions == {info.code: info.version for info in all_checks()}
+
+
+class TestSingleConstruction:
+    @pytest.fixture
+    def construct_counter(self, monkeypatch):
+        """Record the identity of every firewall handed to ``construct``.
+
+        Candidate diagrams of the redundancy sweep are *derived*
+        firewalls (same name, different object), so identity separates
+        "rebuilt the policy" from legitimate per-candidate work.
+        """
+        calls = []
+        original = NodeStore.construct
+
+        def counting(self, firewall, *args, **kwargs):
+            calls.append(firewall)
+            return original(self, firewall, *args, **kwargs)
+
+        monkeypatch.setattr(NodeStore, "construct", counting)
+        return calls
+
+    def test_full_lint_run_constructs_policy_once(self, construct_counter):
+        firewall = loads(POLICY)
+        run_lint(firewall)
+        rebuilds = [f for f in construct_counter if f is firewall]
+        assert len(rebuilds) <= 1
+
+    def test_seeded_context_constructs_nothing_for_policy(
+        self, construct_counter
+    ):
+        firewall = loads(POLICY)
+        store = NodeStore()
+        fdd = store.construct(firewall)
+        construct_counter.clear()
+        context = LintContext(firewall, store=store, fdd=fdd)
+        run_lint(firewall, context=context)
+        assert all(f is not firewall for f in construct_counter)
