@@ -127,6 +127,9 @@ def test_bench_fig13_parallel_engine(benchmark, report_saver, json_saver):
                     "shards",
                     "serial (ms)",
                     "parallel wall (ms)",
+                    "construct max (ms)",
+                    "publish (ms)",
+                    "shard phase (ms)",
                     "wall speedup",
                     "critical-path speedup",
                     "parity",
@@ -137,6 +140,9 @@ def test_bench_fig13_parallel_engine(benchmark, report_saver, json_saver):
                         row.shards,
                         row.serial_ms,
                         row.parallel_wall_ms,
+                        row.construct_ms_max,
+                        row.publish_ms,
+                        row.shard_wall_ms,
                         row.speedup,
                         row.critical_path_speedup,
                         row.parity,
@@ -149,7 +155,7 @@ def test_bench_fig13_parallel_engine(benchmark, report_saver, json_saver):
     report_saver("fig13_parallel", report)
     from repro.parallel import compare_parallel
 
-    size = 200 if bench_scale() == "paper" else 100
+    size = 200
     fw_a, fw_b = generate_firewall_pair(size, seed=13)
     benchmark.pedantic(
         lambda: compare_parallel(fw_a, fw_b, jobs=jobs),

@@ -72,10 +72,11 @@ def main(argv: list[str] | None = None) -> int:
         default=[],
         metavar="FIELD",
         help=(
-            "like --speedup, but skipped (with a logged reason) on rows"
-            " whose 'jobs' exceed the usable cores recorded in"
-            " 'effective_cores' — wall-clock parallel speedups are"
-            " unwinnable on such boxes (repeatable)"
+            "like --speedup, but skipped (with a logged reason) when"
+            " either side is core-starved: current rows whose 'jobs'"
+            " exceed the usable cores recorded in 'effective_cores'"
+            " cannot win the gate, and baseline rows recorded that way"
+            " are not a meaningful wall-clock reference (repeatable)"
         ),
     )
     parser.add_argument(

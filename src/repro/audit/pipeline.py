@@ -32,9 +32,12 @@ computed path — cold and warm runs therefore report byte-identical
 diagnostics by construction.
 
 Execution is serial by default; ``jobs > 1`` fans uncached policies out
-through the supervised pool (:func:`repro.parallel.supervise`): worker
-crashes and hangs degrade to an in-parent serial re-run, recorded on the
-report (the CLI maps a degraded-but-correct audit to exit code 5).
+through the supervised persistent worker pool
+(:func:`repro.parallel.supervise` leasing from
+:func:`repro.parallel.get_pool`, so repeated fleet audits in one
+process reuse live workers): worker crashes and hangs degrade to an
+in-parent serial re-run, recorded on the report (the CLI maps a
+degraded-but-correct audit to exit code 5).
 Per-tenant guard budgets from the manifest bound each policy's audit; a
 policy that exhausts its tenant budget is reported ``over-budget`` with
 its partial guard spend, and the fleet continues.

@@ -185,16 +185,20 @@ def compare_trajectories(
     opt-in (several benchmarks carry informational ``speedup_vs_*``
     context fields that must *not* alarm): fields named in ``speedups``
     must satisfy ``current >= baseline * (1 - threshold)``.  Fields in
-    ``wall_speedups`` are gated the same way **except** when the current
-    row's parallelism exceeds the cores the process can actually use
-    (row ``jobs`` > row ``effective_cores``, falling back to the
-    document's machine ``cpu_count``) — a wall-clock speedup target is
-    unwinnable on such a box, so the comparison is skipped and the
-    reason appended to ``notes``.  Critical-path and exact gates on the
-    same row stay active.
+    ``wall_speedups`` are gated the same way **except** in two
+    core-starvation cases, each skipped with the reason appended to
+    ``notes``: when the *current* row's parallelism exceeds the cores
+    the process can actually use (row ``jobs`` > row
+    ``effective_cores``, falling back to the document's machine
+    ``cpu_count``) the target is unwinnable here, and when the
+    *baseline* row was itself recorded core-starved its wall-clock
+    number is meaningless as an anchor (a 1-core recording makes any
+    parallel run look like a regression — or, worse, a win).
+    Critical-path and exact gates on the same row stay active.
     """
     by_key = {row["key"]: row for row in current.get("rows", [])}
     machine_cores = (current.get("machine") or {}).get("cpu_count")
+    baseline_cores = (baseline.get("machine") or {}).get("cpu_count")
     regressions: list[Regression] = []
     for base_row in baseline.get("rows", []):
         key = base_row["key"]
@@ -230,6 +234,25 @@ def compare_trajectories(
                                 f"{key}.{metric}: skipped wall-clock speedup"
                                 f" gate ({cores} usable core(s) <"
                                 f" {jobs} jobs — target unwinnable here)"
+                            )
+                        continue
+                    base_jobs = base_row.get("jobs")
+                    anchor_cores = base_row.get(
+                        "effective_cores", baseline_cores
+                    )
+                    if (
+                        isinstance(base_jobs, int)
+                        and isinstance(anchor_cores, int)
+                        and anchor_cores < base_jobs
+                    ):
+                        if notes is not None:
+                            notes.append(
+                                f"{key}.{metric}: skipped wall-clock speedup"
+                                f" gate (anchor recorded on"
+                                f" {anchor_cores} usable core(s) <"
+                                f" {base_jobs} jobs — anchor is not a"
+                                f" meaningful wall-clock reference;"
+                                f" re-record it on a multi-core box)"
                             )
                         continue
                 if cur_value < base_value * (1.0 - threshold):

@@ -12,8 +12,12 @@ the ``fast.rule`` site fires once per rule).
 
 Actions are addressed by ``(shard_index, attempt)`` through a
 :class:`ChaosPlan`, so a scenario can fault attempt 0 and let the retry
-run clean — or fault every attempt to force a degradation.  Everything
-is deterministic: the same plan against the same policies produces the
+run clean — or fault every attempt to force a degradation.  In the
+pooled comparison pipeline the plan addresses the *construction-piece*
+dispatches (phase 1 of :func:`repro.parallel.compare_sharded` — the
+phase that owns the ``fast.rule`` site; the indices are longest-first
+dispatch order, so index 0 is the heaviest piece).  Everything is
+deterministic: the same plan against the same policies produces the
 same failures, retries, and final report.
 """
 

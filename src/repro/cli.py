@@ -1143,6 +1143,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    finally:
+        # Release any --jobs worker pools gracefully so worker atexit
+        # hooks (coverage, profilers) run before the parent exits; the
+        # in-process API relies on the pool module's own atexit instead.
+        from repro.parallel.pool import shutdown_pools
+
+        shutdown_pools()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

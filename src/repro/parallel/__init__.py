@@ -16,9 +16,20 @@ whose retries are exhausted degrades to serial in-parent execution,
 recorded as a :class:`Degradation` on the merged result — see
 ``docs/robustness.md`` for the state machine.
 
+Workers live in a persistent, lazily-started pool
+(:mod:`repro.parallel.pool`) shared by every fan-out in the process —
+comparison shards, ``compare_many`` pairs, audit fleets, and batch
+classification all lease from the same :class:`WorkerPool`, amortizing
+process start cost across calls.  Large shared inputs (node-graph
+snapshots, compiled matchers) are published to the pool once per call
+and shipped to each worker at most once, via shared memory when the
+platform provides it.  :func:`shutdown_pools` tears the workers down
+gracefully (the CLI calls it on exit); :func:`get_pool` exposes the
+pool for stats and warm-up.
+
 :func:`classify_parallel` reuses the same fan-out for serving-side
-batch classification: workers receive pickled compiled matcher
-artifacts (:mod:`repro.classify`), never policy sources.
+batch classification: workers receive a published compiled matcher
+snapshot (:mod:`repro.classify`), never policy sources.
 """
 
 from repro.parallel.classify import classify_parallel
@@ -34,6 +45,7 @@ from repro.parallel.engine import (
     plan_shards,
     restrict_to_shard,
 )
+from repro.parallel.pool import WorkerPool, get_pool, shutdown_pools
 from repro.parallel.supervisor import (
     Degradation,
     ShardFailure,
@@ -48,13 +60,16 @@ __all__ = [
     "ShardFailure",
     "ShardResult",
     "SupervisorConfig",
+    "WorkerPool",
     "classify_parallel",
     "compare_many",
     "compare_parallel",
     "compare_sharded",
     "comparison_summary",
     "default_jobs",
+    "get_pool",
     "plan_shards",
     "restrict_to_shard",
+    "shutdown_pools",
     "supervise",
 ]

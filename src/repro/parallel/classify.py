@@ -1,17 +1,18 @@
-"""Parallel batch classification: ship compiled artifacts, not policies.
+"""Parallel batch classification: publish the artifact, ship packet slices.
 
-Workers receive a pickled :class:`~repro.classify.matcher.CompiledMatcher`
-and a contiguous slice of the packet batch, classify it, and return the
-decisions in order.  Because the artifact is a handful of flat arrays,
-shipping it is cheap and spawn-safe — no rule parsing, no FDD
-construction, no node graphs cross the process boundary.  Each worker
-rebuilds its vectorized batch kernel locally on first use (the kernel
-is a derived cache and deliberately never pickles).
+The compiled :class:`~repro.classify.matcher.CompiledMatcher` is
+published to the persistent pool **once** per call as a snapshot
+(shared memory when available, a pipe message otherwise); each task
+then carries only the snapshot id and a contiguous slice of the packet
+batch, so task size is independent of policy size.  Workers resolve
+the snapshot on first use and cache it until the parent retires it,
+and each worker rebuilds its vectorized batch kernel locally (the
+kernel is a derived cache and deliberately never pickles).
 
 The fan-out reuses the comparison engine's pool runner, so deadline
 checkpoints of a parent guard are honoured while waiting on workers.
 On a single-core box (or for batches below ``jobs`` packets) the call
-degrades to one in-process chunk.
+degrades to one in-process chunk without touching the pool.
 """
 
 from __future__ import annotations
@@ -22,22 +23,28 @@ from typing import Iterable, Sequence
 from repro.classify.matcher import CompiledMatcher
 from repro.fields import Packet
 from repro.guard import GuardContext
+from repro.parallel.engine import default_jobs
+from repro.parallel.pool import get_pool, resolve_snapshot
 from repro.policy.decision import Decision
-from repro.parallel.engine import _run_fanout, default_jobs
 
 __all__ = ["classify_parallel"]
 
 
 @dataclass(frozen=True)
 class _ClassifyTask:
-    """One worker's unit: the shared artifact plus its slice of packets."""
+    """One worker's unit: the shared artifact's id plus a packet slice."""
 
-    matcher: CompiledMatcher
+    snapshot_id: str
     packets: tuple
+
+    @property
+    def snapshot_ids(self) -> tuple[str, ...]:
+        return (self.snapshot_id,)
 
 
 def _classify_worker(task: _ClassifyTask) -> list[Decision]:
-    return task.matcher.classify_batch(task.packets)
+    matcher: CompiledMatcher = resolve_snapshot(task.snapshot_id)
+    return matcher.classify_batch(task.packets)
 
 
 def classify_parallel(
@@ -51,31 +58,33 @@ def classify_parallel(
 ) -> list[Decision]:
     """Classify a batch across ``jobs`` worker processes.
 
-    Splits the batch into ``jobs`` contiguous chunks, ships the compiled
-    artifact to each worker, and concatenates the per-chunk decisions —
-    the result is elementwise identical to ``matcher.classify_batch``.
-    ``jobs`` defaults to the CPU count; ``inline=True`` forces
-    in-process execution (``None`` lets chunk count decide, exactly like
-    the comparison engine); ``guard`` is checkpointed while awaiting
-    workers so parent deadlines and cancellation still bite.
+    Splits the batch into ``jobs`` contiguous chunks, publishes the
+    compiled artifact to the pool once, and concatenates the per-chunk
+    decisions — the result is elementwise identical to
+    ``matcher.classify_batch``.  ``jobs`` defaults to the CPU count;
+    ``inline=True`` forces in-process execution (``None`` lets chunk
+    count decide, exactly like the comparison engine); ``guard`` is
+    checkpointed while awaiting workers so parent deadlines and
+    cancellation still bite.
     """
     if not isinstance(packets, (list, tuple)):
         packets = list(packets)
     jobs = default_jobs() if jobs is None else max(1, jobs)
     chunks = max(1, min(jobs, len(packets)))
-    size, extra = divmod(len(packets), chunks)
-    tasks = []
-    start = 0
-    for i in range(chunks):
-        end = start + size + (1 if i < extra else 0)
-        tasks.append(_ClassifyTask(matcher, tuple(packets[start:end])))
-        start = end
-    results = _run_fanout(
-        _classify_worker,
-        tasks,
-        jobs=jobs,
-        start_method=start_method,
-        inline=bool(inline) if inline is not None else False,
-        guard=guard,
-    )
+    run_inline = (chunks <= 1) if inline is None else bool(inline)
+    if run_inline or chunks <= 1:
+        return matcher.classify_batch(packets)
+    pool = get_pool(start_method)
+    snapshot_id = pool.publish_snapshot(matcher)
+    try:
+        size, extra = divmod(len(packets), chunks)
+        tasks = []
+        start = 0
+        for i in range(chunks):
+            end = start + size + (1 if i < extra else 0)
+            tasks.append(_ClassifyTask(snapshot_id, tuple(packets[start:end])))
+            start = end
+        results = pool.run(_classify_worker, tasks, jobs=jobs, guard=guard)
+    finally:
+        pool.retire_snapshot(snapshot_id)
     return [decision for chunk in results for decision in chunk]

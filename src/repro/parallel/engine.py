@@ -27,10 +27,29 @@ Execution has two modes sharing one merge path:
   output is the unique reduced diagram of the policy: slicing its root
   edges yields exactly the diagram a per-shard reconstruction would
   build.
-* **Process fan-out** (``inline=False``): shards cross the pipe as plain
-  picklable values (firewalls restricted by :func:`restrict_to_shard`,
-  budgets, fault injectors — never FDD node graphs), and each worker
-  interns into its own store.
+* **Process fan-out** (``inline=False``): a three-phase pipeline over
+  the persistent worker pool (:mod:`repro.parallel.pool`):
+
+  1. **Piece construction.**  Construction dominates serial cost
+     (~90 % on the Fig. 13 workload), so it is what fans out.  The
+     (oversplit) shard plan is grouped into ≤ ``jobs`` contiguous
+     *pieces* of the field-0 domain, and one task per (side, piece)
+     constructs :func:`restrict_to_shard`'s restriction in a worker.
+     The split is over the domain, never the rule list: a rule-suffix
+     chunk loses the shadowing of earlier rules and its diagram blows
+     up, while a restricted firewall preserves rule order — and the
+     hash-consed output is exactly the full diagram's restriction.
+  2. **Intern + publish.**  The parent interns the returned piece roots
+     into one store and publishes them **once** as a snapshot (shared
+     memory when available, pipe bytes otherwise).
+  3. **Snapshot shard fan-out.**  Shard tasks carry only the snapshot
+     id, their interval, and their piece index.  Workers resolve the
+     snapshot once per comparison, then build every shard difference
+     via :func:`_restrict_root` over their cached store — the same
+     restriction the inline path uses, so no per-shard reconstruction.
+     Shards are *oversplit* (more shards than jobs) and dispatched
+     longest-first, so a slow shard no longer bounds wall-clock
+     (work-stealing via the pool's free-worker dispatch).
 
 Guard budgets (PR 1) propagate: each worker receives the parent's
 *remaining* budget (deadline already discounted by elapsed dispatch
@@ -57,6 +76,7 @@ from __future__ import annotations
 
 import bisect
 import os
+import pickle
 import time
 from dataclasses import dataclass, field, replace
 
@@ -70,10 +90,15 @@ from repro.fdd.fast import (
     construct_fdd_fast,
 )
 from repro.fdd.fdd import FDD
-from repro.fdd.node import InternalNode
+from repro.fdd.node import InternalNode, Node
 from repro.fields import FieldSchema
 from repro.guard import Budget, FaultInjector, GuardContext
 from repro.intervals import IntervalSet
+from repro.parallel.pool import (
+    get_pool,
+    register_derived_cache,
+    resolve_snapshot,
+)
 from repro.parallel.supervisor import (
     Degradation,
     ShardFailure,
@@ -145,6 +170,11 @@ def plan_shards(fw_a: Firewall, fw_b: Firewall, jobs: int) -> list[IntervalSet]:
         depth += deltas[k]
         atom_weights.append(1 + depth)
     total = sum(atom_weights)
+    # More parts than atoms can never be filled, and leaving the excess
+    # in ``jobs`` makes the greedy pass below refuse *every* cut (it
+    # always reserves one atom per remaining shard), collapsing the plan
+    # to a single shard — fewer shards for a larger ``jobs``.
+    jobs = min(jobs, len(atom_weights))
     # Greedy chunking: close a shard once its cumulative share is met,
     # always leaving at least one atom for every shard still to come.
     shards: list[IntervalSet] = []
@@ -202,18 +232,197 @@ def restrict_to_shard(firewall: Firewall, shard: IntervalSet) -> Firewall:
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class _ShardTask:
-    """Everything one worker needs; crosses the process boundary."""
+#: Fan-out plans this many shards per worker, so longest-first dispatch
+#: over the pool's free workers can steal around a slow shard instead of
+#: letting ``shard_ms_max`` bound wall-clock.
+_OVERSPLIT = 3
 
-    shard_index: int
-    shard: IntervalSet
-    fw_a: Firewall
-    fw_b: Firewall
+
+@dataclass(frozen=True)
+class _PieceTask:
+    """Construct one side's diagram restricted to one coarse piece.
+
+    Construction dominates serial cost, so it is what fans out — but
+    splitting the *rule list* is adversarial (a later chunk loses the
+    shadowing of earlier rules and its diagram blows up), so the split
+    is over the field-0 **domain** instead: each piece is a contiguous
+    union of the final shard plan's intervals, and the task constructs
+    :func:`restrict_to_shard`'s restriction of one side to it.  Rule
+    order (and therefore shadowing) is fully preserved inside a piece,
+    and the hash-consed output is exactly the full diagram's restriction
+    — so phase 3 can serve any sub-shard of the piece from its root.
+    """
+
+    piece_index: int
+    #: ``"a"`` or ``"b"``.
+    side: str
+    firewall: Firewall
     budget: Budget | None
     fault: FaultInjector | None
-    enumerate_discrepancies: bool
-    discrepancy_limit: int | None
+
+
+@dataclass(frozen=True)
+class _PieceResult:
+    """One constructed piece root, with the worker's guard spend."""
+
+    piece_index: int
+    side: str
+    root: Node
+    progress: dict = field(default_factory=dict)
+    elapsed_ms: float = 0.0
+
+
+def _execute_piece(task: _PieceTask) -> _PieceResult:
+    """Construct one restricted side (in a worker process or inline).
+
+    Builds into a fresh local store; only the root's node graph (a few
+    tens of KB) crosses back over the pipe.
+    """
+    guard = None
+    if task.budget is not None or task.fault is not None:
+        guard = GuardContext(
+            task.budget if task.budget is not None else Budget.unlimited(),
+            fault=task.fault,
+        )
+    start = time.perf_counter()
+    store = HashConsStore()
+    fdd = construct_fdd_fast(task.firewall, store, guard=guard)
+    return _PieceResult(
+        piece_index=task.piece_index,
+        side=task.side,
+        root=fdd.root,
+        progress=guard.progress() if guard is not None else {},
+        elapsed_ms=(time.perf_counter() - start) * 1000.0,
+    )
+
+
+def _plan_pieces(
+    shards: list[IntervalSet], weights: list[int], pieces: int
+) -> list[tuple[IntervalSet, list[int]]]:
+    """Group contiguous shards into ≤ ``pieces`` weight-balanced pieces.
+
+    Returns ``(piece_domain, member_shard_indices)`` per piece, where
+    the domain is the union of the member shards — every shard belongs
+    to exactly one piece, so its difference can be built by restricting
+    that piece's roots.
+    """
+    pieces = max(1, min(pieces, len(shards)))
+    total = sum(weights) or 1
+    grouped: list[tuple[IntervalSet, list[int]]] = []
+    start = 0
+    cum = 0.0
+    for index, weight in enumerate(weights):
+        cum += weight
+        pieces_left = pieces - len(grouped)
+        shards_left = len(shards) - index - 1
+        if (
+            pieces_left > 1
+            and cum >= (len(grouped) + 1) * total / pieces
+            and shards_left >= pieces_left - 1
+        ):
+            members = list(range(start, index + 1))
+            domain = IntervalSet.union_all([shards[i] for i in members])
+            grouped.append((domain, members))
+            start = index + 1
+    members = list(range(start, len(shards)))
+    grouped.append(
+        (IntervalSet.union_all([shards[i] for i in members]), members)
+    )
+    return grouped
+
+
+def _construct_pieces(
+    fw_a: Firewall,
+    fw_b: Firewall,
+    pieces: list[tuple[IntervalSet, list[int]]],
+    *,
+    jobs: int,
+    parent: GuardContext | None,
+    fault: FaultInjector | None,
+    start_method: str | None,
+    supervised: bool,
+    supervision: SupervisorConfig | None,
+    chaos,
+    pool,
+    phase_ms: dict,
+) -> tuple[
+    dict[int, tuple[Node, Node]],
+    tuple[Degradation, ...],
+    tuple[ShardFailure, ...],
+]:
+    """Phase 1+2 of the fan-out: construct pieces in parallel, intern.
+
+    One task per (side, piece), dispatched longest-first.  The returned
+    roots are interned into one fresh store so structure shared between
+    pieces is deduplicated before the snapshot payload is pickled.
+    Supervision records from this dispatch index the construction task
+    list; they are tagged in ``detail`` before surfacing.
+    """
+    tasks: list[_PieceTask] = []
+    for side, firewall in (("a", fw_a), ("b", fw_b)):
+        for index, (domain, _members) in enumerate(pieces):
+            tasks.append(
+                _PieceTask(
+                    piece_index=index,
+                    side=side,
+                    firewall=restrict_to_shard(firewall, domain),
+                    budget=parent.remaining_budget() if parent is not None else None,
+                    fault=fault,
+                )
+            )
+    order = sorted(range(len(tasks)), key=lambda i: -len(tasks[i].firewall))
+    dispatched = [tasks[i] for i in order]
+    start = time.perf_counter()
+    degradations: tuple[Degradation, ...] = ()
+    failures: tuple[ShardFailure, ...] = ()
+    if supervised:
+        results, found_degradations, found_failures = supervise(
+            _execute_piece,
+            dispatched,
+            jobs=jobs,
+            config=supervision,
+            start_method=start_method,
+            guard=parent,
+            rebudget=_make_rebudget(parent),
+            on_result=_make_on_result(parent),
+            chaos=chaos,
+            pool=pool,
+        )
+        degradations = tuple(
+            replace(
+                d,
+                shard_index=order[d.shard_index],
+                detail=(d.detail + " [construction piece]").strip(),
+            )
+            for d in found_degradations
+        )
+        failures = tuple(
+            replace(f, shard_index=order[f.shard_index])
+            for f in found_failures
+        )
+    else:
+        results = pool.run(_execute_piece, dispatched, jobs=jobs, guard=parent)
+        for result in results:
+            if parent is not None and result.progress:
+                parent.tick_nodes(result.progress.get("nodes_expanded", 0))
+                parent.tick_splits(result.progress.get("edges_split", 0))
+                parent.tick_discrepancies(
+                    result.progress.get("discrepancies_found", 0)
+                )
+    piece_ms = [result.elapsed_ms for result in results]
+    phase_ms["construct_wall_ms"] = (time.perf_counter() - start) * 1000.0
+    phase_ms["construct_ms_sum"] = sum(piece_ms)
+    phase_ms["construct_ms_max"] = max(piece_ms, default=0.0)
+    store = HashConsStore()
+    by_piece: dict[int, dict[str, Node]] = {}
+    for result in results:
+        by_piece.setdefault(result.piece_index, {})[result.side] = store.intern(
+            result.root
+        )
+    roots = {
+        index: (sides["a"], sides["b"]) for index, sides in by_piece.items()
+    }
+    return roots, degradations, failures
 
 
 @dataclass(frozen=True)
@@ -258,8 +467,69 @@ def _anchor_to_shard(diff: DifferenceFDD, shard: IntervalSet) -> DifferenceFDD:
     return DifferenceFDD(diff.schema, _PairNode(0, ((shard, root),)))
 
 
-def _execute_shard(task: _ShardTask) -> ShardResult:
-    """Run one shard's comparison (in a worker process or inline)."""
+@dataclass(frozen=True)
+class _SnapshotShardTask:
+    """One shard of a published comparison snapshot.
+
+    Carries the snapshot *id*, never the diagrams: the pool ships the
+    snapshot to each worker at most once per comparison, so a task is a
+    few hundred bytes regardless of policy size.
+    """
+
+    shard_index: int
+    shard: IntervalSet
+    snapshot_id: str
+    #: Which construction piece this shard lies inside.
+    piece_index: int
+    #: Rules overlapping this shard, per side (reporting parity with
+    #: what :func:`restrict_to_shard` would have kept).
+    rules_a: int
+    rules_b: int
+    budget: Budget | None
+    fault: FaultInjector | None
+    enumerate_discrepancies: bool
+    discrepancy_limit: int | None
+    #: Work proxy used for longest-first dispatch.
+    weight: int = 0
+
+    @property
+    def snapshot_ids(self) -> tuple[str, ...]:
+        return (self.snapshot_id,)
+
+
+#: Per-snapshot payload cache: ``snapshot_id -> (schema,
+#: {piece_index: (root_a, root_b)})``.  In workers it holds the
+#: deserialized snapshot (one shm read + unpickle per worker per
+#: comparison); in the parent it is pre-seeded with the construction
+#: phase's live diagrams, so the degraded serial fallback never
+#: deserializes at all.  Each shard task interns its piece into a
+#: *fresh* store — sharing a warm store across shards would let the
+#: pair-memo skip product visits for whichever shard happened to run
+#: second, making guard node-spend depend on worker scheduling.
+#: Registered with the pool so retiring the snapshot evicts it
+#: everywhere.
+_SNAPSHOT_PAYLOADS: dict[str, tuple] = register_derived_cache({})
+
+
+def _snapshot_payload(snapshot_id: str) -> tuple:
+    found = _SNAPSHOT_PAYLOADS.get(snapshot_id)
+    if found is None:
+        found = resolve_snapshot(snapshot_id)
+        _SNAPSHOT_PAYLOADS[snapshot_id] = found
+    return found
+
+
+def _execute_snapshot_shard(task: _SnapshotShardTask) -> ShardResult:
+    """Build one shard's difference from the cached snapshot payload.
+
+    Identical math to the inline path: restrict the enclosing piece's
+    roots' field-0 edges to the shard and run the product walk.  The
+    piece is interned into a fresh store per task (interning is linear
+    in the piece, the product walk is not) so the guard's node-spend
+    per shard is a pure function of the shard — deterministic across
+    runs, schedules, and retries, which the budget-across-retries
+    invariant relies on.
+    """
     guard = None
     if task.budget is not None or task.fault is not None:
         guard = GuardContext(
@@ -267,10 +537,17 @@ def _execute_shard(task: _ShardTask) -> ShardResult:
             fault=task.fault,
         )
     start = time.perf_counter()
+    schema, piece_roots = _snapshot_payload(task.snapshot_id)
+    raw_a, raw_b = piece_roots[task.piece_index]
     store = HashConsStore()
-    fdd_a = construct_fdd_fast(task.fw_a, store, guard=guard)
-    fdd_b = construct_fdd_fast(task.fw_b, store, guard=guard)
-    diff = build_difference(fdd_a, fdd_b, guard=guard, store=store)
+    root_a = store.intern(raw_a)
+    root_b = store.intern(raw_b)
+    diff = build_difference(
+        FDD(schema, _restrict_root(root_a, task.shard, store)),
+        FDD(schema, _restrict_root(root_b, task.shard, store)),
+        guard=guard,
+        store=store,
+    )
     diff = _anchor_to_shard(diff, task.shard)
     by_decisions = diff.disputed_by_decisions()
     discrepancies = None
@@ -285,8 +562,8 @@ def _execute_shard(task: _ShardTask) -> ShardResult:
         by_decisions=by_decisions,
         node_count=diff.node_count(),
         path_count=diff.path_count(),
-        rules_a=len(task.fw_a),
-        rules_b=len(task.fw_b),
+        rules_a=task.rules_a,
+        rules_b=task.rules_b,
         discrepancies=discrepancies,
         progress=guard.progress() if guard is not None else {},
         elapsed_ms=(time.perf_counter() - start) * 1000.0,
@@ -462,41 +739,19 @@ def _run_fanout(
     inline: bool,
     guard: GuardContext | None,
 ) -> list:
-    """Run ``worker`` over ``tasks``, in-process or across a pool.
+    """Run ``worker`` over ``tasks``, in-process or across the pool.
 
-    The pool path polls for completed shards so the *first* failure —
-    budget trip, injected fault, anything — terminates the remaining
-    workers immediately instead of letting them burn the budget to the
-    end; the parent guard's deadline/cancellation is also enforced while
-    waiting.
+    The pool path (:meth:`~repro.parallel.pool.WorkerPool.run`) waits
+    event-driven on the worker pipes — no polling sleep — and the first
+    failure (budget trip, injected fault, anything) terminates the
+    still-busy workers immediately instead of letting them burn budget
+    to the end; the parent guard's deadline/cancellation is enforced
+    while waiting.  On success workers return to the persistent pool
+    alive (their atexit hooks eventually run at interpreter exit).
     """
     if inline or len(tasks) <= 1:
         return [worker(task) for task in tasks]
-    import multiprocessing as mp
-
-    ctx = mp.get_context(start_method) if start_method else mp.get_context()
-    pool = ctx.Pool(processes=min(jobs, len(tasks)))
-    try:
-        pending = {
-            index: pool.apply_async(worker, (task,))
-            for index, task in enumerate(tasks)
-        }
-        results: dict[int, object] = {}
-        while pending:
-            if guard is not None:
-                guard.checkpoint("parallel.wait")
-            ready = [index for index, handle in pending.items() if handle.ready()]
-            if not ready:
-                time.sleep(0.002)
-                continue
-            for index in ready:
-                results[index] = pending.pop(index).get()
-        return [results[index] for index in range(len(tasks))]
-    finally:
-        # Reached with workers still running only on error (or parent
-        # deadline/cancellation): cancel them before propagating.
-        pool.terminate()
-        pool.join()
+    return get_pool(start_method).run(worker, tasks, jobs=jobs, guard=guard)
 
 
 def _make_rebudget(parent: GuardContext | None):
@@ -561,9 +816,15 @@ class ParallelComparison:
     #: ``None`` for unguarded runs.
     outcome: dict | None
     #: Guard spend of the one-time shared-store construction phase
-    #: (inline mode only; empty for process fan-out, where each worker
-    #: constructs — and accounts — its own restricted diagrams).
+    #: (inline mode only; for process fan-out the chunk workers account
+    #: their own construction spend in their shard ``progress``).
     construction: dict = field(default_factory=dict)
+    #: Fan-out phase wall-clock breakdown, milliseconds: piece
+    #: construction (``construct_wall_ms`` / ``construct_ms_sum`` /
+    #: ``construct_ms_max``), snapshot publication (``publish_ms``),
+    #: and the shard dispatch wave (``shard_wall_ms``).  Empty for
+    #: inline runs.
+    phase_ms: dict = field(default_factory=dict)
     #: Shards that exhausted their retries and were re-executed serially
     #: in the parent (supervised fan-out only).  The merged numbers stay
     #: exact — a degradation records a loss of parallelism, not of
@@ -651,9 +912,11 @@ def compare_sharded(
     the calling process over **one shared node store** — both policies
     are constructed once and each shard's difference is built from the
     restricted roots; identical math, no pickling, deterministic — which
-    is what the property tests exercise.  Pass ``inline=False`` to fan
-    out across ``jobs`` processes, each re-interning its restricted
-    slice.
+    is what the property tests exercise.  Pass ``inline=False`` to run
+    the three-phase pipeline over the persistent pool: chunked parallel
+    construction, in-parent composition, then the shard differences fanned
+    out as references to one published snapshot (see the module
+    docstring).
 
     Process fan-out dispatches through the supervisor by default:
     ``supervision`` tunes its retry/deadline/heartbeat policy, and
@@ -666,6 +929,7 @@ def compare_sharded(
     construction: dict = {}
     degradations: tuple[Degradation, ...] = ()
     failures: tuple[ShardFailure, ...] = ()
+    phase_ms: dict = {}
     parent_ticked = False
     if inline or len(shards) <= 1:
         parent, construction, results = _execute_shards_shared(
@@ -679,46 +943,105 @@ def compare_sharded(
         )
     else:
         parent = GuardContext(budget) if budget is not None else None
-        tasks = []
-        for index, shard in enumerate(shards):
-            tasks.append(
-                _ShardTask(
-                    shard_index=index,
-                    shard=shard,
-                    fw_a=restrict_to_shard(fw_a, shard),
-                    fw_b=restrict_to_shard(fw_b, shard),
-                    budget=parent.remaining_budget() if parent is not None else None,
-                    fault=fault,
-                    enumerate_discrepancies=enumerate_discrepancies,
-                    discrepancy_limit=discrepancy_limit,
+        pool = get_pool(start_method)
+        # Phases 1+2: group the shard plan into ≤ jobs contiguous pieces
+        # and construct each (side, piece) restriction in parallel.
+        # Chaos plans address these dispatches (construction is where
+        # the ``fast.rule`` fault site lives); their failure records are
+        # tagged and merged below.
+        overlaps = [
+            (_rules_overlapping(fw_a, shard), _rules_overlapping(fw_b, shard))
+            for shard in shards
+        ]
+        shard_weights = [a + b for a, b in overlaps]
+        pieces = _plan_pieces(shards, shard_weights, jobs)
+        piece_of_shard = {
+            shard_index: piece_index
+            for piece_index, (_domain, members) in enumerate(pieces)
+            for shard_index in members
+        }
+        piece_roots, degradations, failures = _construct_pieces(
+            fw_a,
+            fw_b,
+            pieces,
+            jobs=jobs,
+            parent=parent,
+            fault=fault,
+            start_method=start_method,
+            supervised=supervised,
+            supervision=supervision,
+            chaos=chaos,
+            pool=pool,
+            phase_ms=phase_ms,
+        )
+        # Phase 3: publish the piece roots once, fan shards out as
+        # snapshot references, dispatched longest-first over the pool.
+        start = time.perf_counter()
+        snapshot_id = pool.publish_snapshot(
+            None, payload=pickle.dumps((fw_a.schema, piece_roots))
+        )
+        _SNAPSHOT_PAYLOADS[snapshot_id] = (fw_a.schema, piece_roots)
+        phase_ms["publish_ms"] = (time.perf_counter() - start) * 1000.0
+        start = time.perf_counter()
+        try:
+            tasks = []
+            for index, shard in enumerate(shards):
+                rules_a, rules_b = overlaps[index]
+                tasks.append(
+                    _SnapshotShardTask(
+                        shard_index=index,
+                        shard=shard,
+                        snapshot_id=snapshot_id,
+                        piece_index=piece_of_shard[index],
+                        rules_a=rules_a,
+                        rules_b=rules_b,
+                        budget=parent.remaining_budget()
+                        if parent is not None
+                        else None,
+                        fault=fault,
+                        enumerate_discrepancies=enumerate_discrepancies,
+                        discrepancy_limit=discrepancy_limit,
+                        weight=rules_a + rules_b,
+                    )
                 )
+            # Longest-first (LPT) dispatch order: with oversplit shards,
+            # a heavy shard starts first and light ones pack around it.
+            order = sorted(
+                range(len(tasks)), key=lambda i: -tasks[i].weight
             )
-        if supervised:
-            results, found_degradations, found_failures = supervise(
-                _execute_shard,
-                tasks,
-                jobs=jobs,
-                config=supervision,
-                start_method=start_method,
-                guard=parent,
-                rebudget=_make_rebudget(parent),
-                on_result=_make_on_result(parent),
-                chaos=chaos,
-            )
-            degradations = tuple(found_degradations)
-            failures = tuple(found_failures)
-            # Completed shards already ticked the parent as they arrived.
-            parent_ticked = True
-        else:
-            results = _run_fanout(
-                _execute_shard,
-                tasks,
-                jobs=jobs,
-                start_method=start_method,
-                inline=inline,
-                guard=parent,
-            )
-        results.sort(key=lambda result: result.shard_index)
+            dispatched = [tasks[i] for i in order]
+            if supervised:
+                results, shard_degradations, shard_failures = supervise(
+                    _execute_snapshot_shard,
+                    dispatched,
+                    jobs=jobs,
+                    config=supervision,
+                    start_method=start_method,
+                    guard=parent,
+                    rebudget=_make_rebudget(parent),
+                    on_result=_make_on_result(parent),
+                    pool=pool,
+                )
+                # Supervision records index the dispatch order; remap to
+                # true shard indices before surfacing them.
+                degradations = degradations + tuple(
+                    replace(d, shard_index=order[d.shard_index])
+                    for d in shard_degradations
+                )
+                failures = failures + tuple(
+                    replace(f, shard_index=order[f.shard_index])
+                    for f in shard_failures
+                )
+                # Completed work already ticked the parent on arrival.
+                parent_ticked = True
+            else:
+                results = pool.run(
+                    _execute_snapshot_shard, dispatched, jobs=jobs, guard=parent
+                )
+            results.sort(key=lambda result: result.shard_index)
+        finally:
+            pool.retire_snapshot(snapshot_id)
+        phase_ms["shard_wall_ms"] = (time.perf_counter() - start) * 1000.0
 
     disputed = 0
     by_decisions: dict[tuple[Decision, Decision], int] = {}
@@ -754,6 +1077,7 @@ def compare_sharded(
         discrepancies=tuple(cells) if enumerate_discrepancies else None,
         outcome=parent.outcome() if parent is not None else None,
         construction=construction,
+        phase_ms=phase_ms,
         degradations=degradations,
         failures=failures,
     )
@@ -794,7 +1118,11 @@ def compare_parallel(
     3
     """
     jobs = default_jobs() if jobs is None else max(1, jobs)
-    shards = plan_shards(fw_a, fw_b, jobs)
+    run_inline = (jobs <= 1) if inline is None else inline
+    # Fan-out oversplits the shard plan so the pool's longest-first
+    # dispatch can steal work around a slow shard; inline execution
+    # keeps one shard per job (oversplitting buys nothing in-process).
+    shards = plan_shards(fw_a, fw_b, jobs if run_inline else jobs * _OVERSPLIT)
     return compare_sharded(
         fw_a,
         fw_b,
@@ -805,7 +1133,7 @@ def compare_parallel(
         enumerate_discrepancies=enumerate_discrepancies,
         discrepancy_limit=discrepancy_limit,
         start_method=start_method,
-        inline=(jobs <= 1) if inline is None else inline,
+        inline=run_inline,
         supervised=supervised,
         supervision=supervision,
         chaos=chaos,

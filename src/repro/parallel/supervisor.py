@@ -1,14 +1,14 @@
 """Supervised worker pools: crash-resilient parallel execution.
 
-The plain fan-out pool (:func:`repro.parallel.engine._run_fanout`) trusts
-its workers: a worker that is SIGKILLed mid-shard leaves its result
-forever pending, a worker that hangs stalls the whole comparison, and a
-result corrupted in transit would be merged as if it were true.  This
-module replaces that trust with **supervision** — the property that every
-dispatched shard reaches exactly one of two terminal states, *completed*
-(an integrity-checked result merged into the report) or *degraded*
-(re-executed serially in the parent, recorded and visible), no matter
-what the worker process does in between.
+The plain fan-out pool (:meth:`repro.parallel.pool.WorkerPool.run`)
+trusts its workers: a worker that is SIGKILLed mid-shard leaves its
+result forever pending, a worker that hangs stalls the whole comparison,
+and a result corrupted in transit would be merged as if it were true.
+This module replaces that trust with **supervision** — the property that
+every dispatched shard reaches exactly one of two terminal states,
+*completed* (an integrity-checked result merged into the report) or
+*degraded* (re-executed serially in the parent, recorded and visible),
+no matter what the worker process does in between.
 
 Per shard task, the supervisor runs this state machine::
 
@@ -27,9 +27,10 @@ Failure detection, in order of precedence:
   process is no longer alive) while it owned a shard.  SIGKILL, OOM
   kills, and interpreter aborts all land here.
 * **worker-hang** — the worker's heartbeat (a counter its background
-  thread sends every ``heartbeat_interval_s``) went stale for longer
-  than ``heartbeat_timeout_s`` while it owned a shard.  Catches frozen
-  processes (SIGSTOP, deadlocked C code) that are alive but not moving.
+  thread sends every ``heartbeat_interval_s`` while a task executes)
+  went stale for longer than ``heartbeat_timeout_s`` while it owned a
+  shard.  Catches frozen processes (SIGSTOP, deadlocked C code) that
+  are alive but not moving.
 * **shard-deadline** — the shard exceeded ``shard_deadline_s`` of
   wall-clock since dispatch.  Catches computations that progress too
   slowly to ever finish (the heartbeat still beats, so only the
@@ -54,14 +55,20 @@ dispatch refreshes the shard's budget to the parent guard's *remaining*
 headroom, and every completed result is re-ticked against the parent
 immediately, so no sequence of retries can outspend the caller's
 original budget (see ``docs/robustness.md``).
+
+Workers come from the process-wide **persistent pool**
+(:func:`repro.parallel.pool.get_pool`): ``supervise`` leases workers for
+the duration of one run, ships any snapshots its tasks reference
+(``task.snapshot_ids``) to each worker at most once, and on exit
+releases healthy idle workers back for the next comparison.  Only
+workers that are dead, hung, or still mid-task on an error path are
+killed — a busy worker's late reply must never leak into a later run.
 """
 
 from __future__ import annotations
 
-import hashlib
 import pickle
 import random
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -72,6 +79,7 @@ from repro.exceptions import (
     SupervisionError,
 )
 from repro.guard import GuardContext
+from repro.parallel.pool import PoolWorker, WorkerPool, _checksum, get_pool
 
 __all__ = [
     "SupervisorConfig",
@@ -172,99 +180,6 @@ class Degradation:
         )
 
 
-def _checksum(payload: bytes) -> str:
-    """The result envelope's integrity digest."""
-    return hashlib.sha256(payload).hexdigest()
-
-
-def _worker_loop(conn, worker, heartbeat_interval: float) -> None:
-    """A pool worker: receive tasks, reply with checksummed envelopes.
-
-    Runs in the child process (module-level and spawn-safe).  A daemon
-    thread sends ``("hb", counter)`` every ``heartbeat_interval`` seconds
-    so the parent can tell "busy" from "frozen"; task replies are
-    ``("ok"|"err", index, payload, digest)`` where ``payload`` pickles
-    the result (or the raised exception) and ``digest`` is its SHA-256
-    computed worker-side — the parent re-hashes, so corruption anywhere
-    on the pipe is caught.  A chaos action shipped with the task is
-    applied before execution (see :func:`repro.chaos.prepare_task`).
-    """
-    send_lock = threading.Lock()
-    hb_stop = threading.Event()
-
-    def beat() -> None:
-        count = 0
-        while not hb_stop.wait(heartbeat_interval):
-            count += 1
-            try:
-                with send_lock:
-                    conn.send(("hb", count))
-            except (OSError, ValueError):
-                return
-
-    threading.Thread(target=beat, daemon=True).start()
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            return
-        if message is None:
-            return
-        index, task, action = message
-        corrupt_seed = None
-        try:
-            if action is not None:
-                from repro.chaos import prepare_task
-
-                task, corrupt_seed = prepare_task(action, task, hb_stop)
-            result = worker(task)
-            payload = pickle.dumps(result)
-            digest = _checksum(payload)
-            if corrupt_seed is not None:
-                payload = _flip_byte(payload, corrupt_seed)
-            reply = ("ok", index, payload, digest)
-        except BaseException as exc:
-            try:
-                payload = pickle.dumps(exc)
-            except Exception:
-                payload = pickle.dumps(
-                    SupervisionError(
-                        f"worker error did not pickle: {exc!r}",
-                        reason="worker-error",
-                    )
-                )
-            reply = ("err", index, payload, _checksum(payload))
-        try:
-            with send_lock:
-                conn.send(reply)
-        except (OSError, ValueError):
-            return
-
-
-def _flip_byte(payload: bytes, seed: int) -> bytes:
-    """Deterministically corrupt one byte of ``payload`` (chaos only)."""
-    if not payload:
-        return b"\x00"
-    rng = random.Random(seed)
-    index = rng.randrange(len(payload))
-    flipped = payload[index] ^ (1 + rng.randrange(255))
-    return payload[:index] + bytes([flipped]) + payload[index + 1 :]
-
-
-class _WorkerHandle:
-    """Parent-side view of one pool worker."""
-
-    __slots__ = ("process", "conn", "current", "dispatched_at", "hb_seen_at")
-
-    def __init__(self, process, conn):
-        self.process = process
-        self.conn = conn
-        #: ``(shard_index, attempt)`` while busy, else ``None``.
-        self.current: tuple[int, int] | None = None
-        self.dispatched_at = 0.0
-        self.hb_seen_at = 0.0
-
-
 def supervise(
     worker,
     tasks: list,
@@ -276,19 +191,26 @@ def supervise(
     rebudget=None,
     on_result=None,
     chaos=None,
+    pool: WorkerPool | None = None,
 ) -> tuple[list, list[Degradation], list[ShardFailure]]:
-    """Run ``worker`` over ``tasks`` in a supervised process pool.
+    """Run ``worker`` over ``tasks`` in a supervised, pooled dispatch.
 
     ``worker`` must be a module-level callable (it crosses the pipe by
-    reference under spawn) and ``tasks`` must pickle.  ``rebudget``, if
-    given, maps a task to a copy carrying the parent's *remaining*
-    budget; it is applied at every dispatch (including retries and the
-    serial fallback) so no shard can be handed more headroom than the
-    aggregate has left.  ``on_result`` is invoked in the parent for each
-    completed result as it arrives — the engine uses it to re-tick shard
-    spend against the parent guard immediately; a
+    reference) and ``tasks`` must pickle.  Workers are leased from the
+    persistent ``pool`` (default: the process-wide pool for
+    ``start_method``) and released back on completion, so repeated calls
+    reuse warm processes.  A task exposing ``snapshot_ids`` has those
+    snapshots shipped to its worker before dispatch (at most once per
+    worker — see :meth:`~repro.parallel.pool.WorkerPool.publish_snapshot`).
+
+    ``rebudget``, if given, maps a task to a copy carrying the parent's
+    *remaining* budget; it is applied at every dispatch (including
+    retries and the serial fallback) so no shard can be handed more
+    headroom than the aggregate has left.  ``on_result`` is invoked in
+    the parent for each completed result as it arrives — the engine uses
+    it to re-tick shard spend against the parent guard immediately; a
     :class:`~repro.exceptions.BudgetExceededError` it raises is fatal
-    and propagates after the pool is torn down.  ``chaos`` is a
+    and propagates after the dispatch is wound down.  ``chaos`` is a
     test-only :class:`repro.chaos.ChaosPlan` consulted per
     ``(shard, attempt)`` dispatch.
 
@@ -300,10 +222,10 @@ def supervise(
     config = config if config is not None else SupervisorConfig()
     if not tasks:
         return [], [], []
-    import multiprocessing as mp
     from multiprocessing.connection import wait as wait_connections
 
-    ctx = mp.get_context(start_method) if start_method else mp.get_context()
+    if pool is None:
+        pool = get_pool(start_method)
     results: dict[int, object] = {}
     degradations: list[Degradation] = []
     failures: list[ShardFailure] = []
@@ -311,33 +233,18 @@ def supervise(
     ready: deque[tuple[int, int]] = deque((i, 0) for i in range(len(tasks)))
     #: Retries waiting out their backoff: ``(not_before, index, attempt)``.
     delayed: list[tuple[float, int, int]] = []
-    workers: list[_WorkerHandle] = []
+    #: Workers leased from the pool for this run.
+    leased: list[PoolWorker] = []
 
-    def spawn_worker() -> _WorkerHandle:
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        process = ctx.Process(
-            target=_worker_loop,
-            args=(child_conn, worker, config.heartbeat_interval_s),
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
-        handle = _WorkerHandle(process, parent_conn)
-        workers.append(handle)
+    def lease_worker() -> PoolWorker:
+        handle = pool.lease()
+        leased.append(handle)
         return handle
 
-    def discard_worker(handle: _WorkerHandle) -> None:
-        try:
-            handle.process.kill()
-        except Exception:
-            pass
-        handle.process.join(timeout=5.0)
-        try:
-            handle.conn.close()
-        except Exception:
-            pass
-        if handle in workers:
-            workers.remove(handle)
+    def discard_worker(handle: PoolWorker) -> None:
+        pool.discard(handle)
+        if handle in leased:
+            leased.remove(handle)
 
     def accept(index: int, result) -> None:
         results[index] = result
@@ -369,15 +276,19 @@ def supervise(
         accept(index, worker(task))
         degradations.append(Degradation(index, reason, next_attempt, detail))
 
-    def dispatch(handle: _WorkerHandle, index: int, attempt: int) -> bool:
+    def dispatch(handle: PoolWorker, index: int, attempt: int) -> bool:
         task = tasks[index]
         if rebudget is not None:
             task = rebudget(task)
         action = chaos.action_for(index, attempt) if chaos is not None else None
         try:
-            handle.conn.send((index, task, action))
+            pool.ensure_shipped(handle, getattr(task, "snapshot_ids", ()))
+            handle.conn.send(
+                ("task", index, worker, task, action, config.heartbeat_interval_s)
+            )
         except (OSError, ValueError):
             return False
+        pool.tasks_dispatched += 1
         now = time.monotonic()
         handle.current = (index, attempt)
         handle.dispatched_at = now
@@ -393,13 +304,13 @@ def supervise(
             for entry in [e for e in delayed if e[0] <= now]:
                 delayed.remove(entry)
                 ready.append((entry[1], entry[2]))
-            # Dispatch to free workers; grow the pool up to ``jobs``.
+            # Dispatch to free workers; grow the lease up to ``jobs``.
             while ready:
-                handle = next((w for w in workers if w.current is None), None)
+                handle = next((w for w in leased if w.current is None), None)
                 if handle is None:
-                    if len(workers) >= jobs:
+                    if len(leased) >= jobs:
                         break
-                    handle = spawn_worker()
+                    handle = lease_worker()
                 index, attempt = ready.popleft()
                 if not dispatch(handle, index, attempt):
                     # The worker died between tasks: replace it and
@@ -407,12 +318,12 @@ def supervise(
                     discard_worker(handle)
                     ready.appendleft((index, attempt))
             # Wait for worker traffic (or a timeout to re-check clocks).
-            conns = [w.conn for w in workers]
+            conns = [w.conn for w in leased]
             ready_conns = wait_connections(conns, _POLL_S) if conns else []
             if not conns and not ready and not delayed:
                 break  # defensive: nothing running, nothing to run
             for conn in ready_conns:
-                handle = next((w for w in workers if w.conn is conn), None)
+                handle = next((w for w in leased if w.conn is conn), None)
                 if handle is None:
                     continue
                 try:
@@ -429,27 +340,31 @@ def supervise(
                     handle.hb_seen_at = time.monotonic()
                     continue
                 _, index, payload, digest = message
+                attempt = (
+                    handle.current[1]
+                    if handle.current is not None
+                    else _attempt_of(failures, index)
+                )
                 handle.current = None
                 if _checksum(payload) != digest:
-                    fail(index, _attempt_of(failures, index),
-                         "corrupt-result", "result envelope checksum mismatch")
+                    fail(index, attempt, "corrupt-result",
+                         "result envelope checksum mismatch")
                     continue
                 try:
                     value = pickle.loads(payload)
                 except Exception as exc:
-                    fail(index, _attempt_of(failures, index),
-                         "corrupt-result", f"result did not unpickle: {exc!r}")
+                    fail(index, attempt, "corrupt-result",
+                         f"result did not unpickle: {exc!r}")
                     continue
                 if kind == "ok":
                     accept(index, value)
                 else:
                     if isinstance(value, _FATAL_ERRORS):
                         raise value
-                    fail(index, _attempt_of(failures, index),
-                         "worker-error", repr(value))
+                    fail(index, attempt, "worker-error", repr(value))
             # Liveness checks for busy workers the pipe said nothing about.
             now = time.monotonic()
-            for handle in list(workers):
+            for handle in list(leased):
                 if handle.current is None:
                     continue
                 index, attempt = handle.current
@@ -469,8 +384,14 @@ def supervise(
                          f"heartbeat stale for {config.heartbeat_timeout_s}s")
         return [results[i] for i in range(len(tasks))], degradations, failures
     finally:
-        for handle in list(workers):
-            discard_worker(handle)
+        for handle in list(leased):
+            if handle.current is not None:
+                # Mid-task on an abort: its late reply must never reach
+                # a later dispatch wave, so the worker is killed.
+                discard_worker(handle)
+            else:
+                leased.remove(handle)
+                pool.release(handle)
 
 
 def _attempt_of(failures: list[ShardFailure], index: int) -> int:
