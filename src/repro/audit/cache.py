@@ -28,6 +28,12 @@ and treated as a miss**, so the worst failure mode of a damaged cache is
 recomputation, never a wrong report.  Writes are atomic
 (temp-file + ``os.replace``), so a crashed audit cannot leave a torn
 entry behind either.
+
+The store can be **size-bounded** (``max_bytes=``, surfaced as
+``repro audit --cache-max-mb``): after every write, least-recently-used
+result objects are evicted until the bound holds again.  Hits count as
+uses (they refresh the entry's mtime), and the fingerprint memo is
+exempt — it is tiny and is what makes warm re-audits near-free.
 """
 
 from __future__ import annotations
@@ -68,14 +74,21 @@ class CacheEntry:
 class ResultCache:
     """Persistent content-addressed store for audit stage results."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.root = Path(root)
+        #: Size bound (in bytes) on ``objects/``; ``None`` is unbounded.
+        #: Enforced after every store by evicting least-recently-used
+        #: entries (hits refresh recency via mtime).
+        self.max_bytes = max_bytes
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
         (self.root / "fingerprints").mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.evictions = 0
         self.fingerprint_hits = 0
         self.fingerprint_misses = 0
 
@@ -136,6 +149,12 @@ class ResultCache:
             self._discard_corrupt(path)
             return None
         self.hits += 1
+        # A hit is a "use": refresh the entry's mtime so the LRU garbage
+        # collector (size-bounded caches) evicts cold entries first.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return CacheEntry(document["payload"], document["provenance"])
 
     def put(
@@ -164,6 +183,8 @@ class ResultCache:
         }
         self._write_atomic(self._object_path(key), document)
         self.stores += 1
+        if self.max_bytes is not None:
+            self._collect_garbage()
 
     def _discard_corrupt(self, path: Path) -> None:
         self.corrupt += 1
@@ -245,6 +266,38 @@ class ResultCache:
                 pass
             raise
 
+    def _collect_garbage(self) -> None:
+        """Evict least-recently-used ``objects/`` entries over the bound.
+
+        Recency is the file mtime: :meth:`put` sets it, :meth:`get`
+        refreshes it on every hit.  Only result objects are collected —
+        the fingerprint memo is a few dozen bytes per policy and is what
+        keeps warm re-audits cheap, so it is never evicted.  Races with
+        concurrent readers are benign: a vanished file is simply a miss.
+        """
+        assert self.max_bytes is not None
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in (self.root / "objects").rglob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        entries.sort()  # oldest mtime first
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+
     def iter_keys(self) -> Iterator[str]:
         """Every stored result key (no verification)."""
         for path in sorted((self.root / "objects").rglob("*.json")):
@@ -261,6 +314,7 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "evictions": self.evictions,
             "fingerprint_hits": self.fingerprint_hits,
             "fingerprint_misses": self.fingerprint_misses,
             "entries": self.entry_count(),

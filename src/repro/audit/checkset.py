@@ -2,8 +2,10 @@
 
 A :class:`CheckSet` pins down the audit's behaviour precisely enough to
 key cached results on it: the enabled stages (``lint`` — the FW001–FW203
-suite, ``compare`` — pairwise semantic comparison against a baseline,
-``impact`` — change-impact classification of that comparison), the exact
+suite, ``simplify`` — the semantics-preserving rule-count reduction of
+:mod:`repro.simplify`, ``compare`` — pairwise semantic comparison
+against a baseline, ``impact`` — change-impact classification of that
+comparison), the exact
 lint checks with their declared versions
 (:func:`repro.lint.engine.register_check`'s ``version=``), and the
 pipeline's own stage versions.  :attr:`CheckSet.id` digests all of it:
@@ -27,12 +29,12 @@ from repro.lint.engine import selected_checks
 __all__ = ["AuditCheckSetError", "CheckSet", "STAGES", "resolve_checkset"]
 
 #: Recognized audit stages, in execution order.
-STAGES = ("lint", "compare", "impact")
+STAGES = ("lint", "simplify", "compare", "impact")
 
 #: Versions of the non-lint pipeline stages.  Bump when the stage's
 #: payload semantics change (new fields are additive and safe; changed
 #: meanings are not).
-STAGE_VERSIONS = {"lint": 1, "compare": 1, "impact": 1}
+STAGE_VERSIONS = {"lint": 1, "simplify": 1, "compare": 1, "impact": 1}
 
 
 class AuditCheckSetError(ReproError):

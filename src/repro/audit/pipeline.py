@@ -372,7 +372,9 @@ def _execute_audit_task(
     try:
         firewall = None
         fdd = None
-        if fingerprint is None or any(s in needs for s in ("lint", "compare")):
+        if fingerprint is None or any(
+            s in needs for s in ("lint", "simplify", "compare")
+        ):
             firewall = loads(task["policy_text"]).with_name(task["name"])
             fdd = node_store.construct(firewall, guard=guard)
             constructions += 1
@@ -388,6 +390,14 @@ def _execute_audit_task(
                 context=context,
             )
             payloads["lint"] = _lint_payload(report, firewall)
+
+        if "simplify" in needs:
+            from repro.simplify import simplify_firewall
+
+            assert firewall is not None
+            payloads["simplify"] = simplify_firewall(
+                firewall, guard=guard
+            ).summary()
 
         if "compare" in needs and not stage_from_cache("compare"):
             assert fdd is not None
@@ -462,11 +472,11 @@ def _stage_fingerprints(
 
     ``compare`` and ``impact`` key on *semantic* fingerprints — any
     equivalent formulation of the policy shares their entries.  ``lint``
-    keys on the **source digest** instead: its diagnostics are
-    syntactic (rule indices, source lines, per-rule hints), so two
-    equivalent but textually different policies must not share them.
+    and ``simplify`` key on the **source digest** instead: their outputs
+    are syntactic (rule indices, source lines, which rules survived), so
+    two equivalent but textually different policies must not share them.
     """
-    if stage == "lint":
+    if stage in ("lint", "simplify"):
         return (source_digest,)
     assert fingerprint is not None and baseline_fingerprint is not None
     return (fingerprint, baseline_fingerprint)
@@ -618,7 +628,8 @@ def _plan_policy(
     enabled = [
         stage
         for stage in checkset.stages
-        if stage == "lint" or (compare_enabled and baseline_path is not None)
+        if stage in ("lint", "simplify")
+        or (compare_enabled and baseline_path is not None)
     ]
     result.baseline_path = baseline_path if compare_enabled else None
 
@@ -644,11 +655,11 @@ def _plan_policy(
     result.baseline_fingerprint = baseline_fingerprint
 
     # Pull cached payloads for every stage whose key is already known:
-    # lint keys on the source digest (always in hand); compare/impact
-    # need both semantic fingerprints from the memo.
+    # lint and simplify key on the source digest (always in hand);
+    # compare/impact need both semantic fingerprints from the memo.
     if cache is not None:
         for stage in enabled:
-            if stage != "lint" and (
+            if stage not in ("lint", "simplify") and (
                 fingerprint is None or baseline_fingerprint is None
             ):
                 continue

@@ -65,7 +65,15 @@ from repro.analysis import (
 from repro.exceptions import BudgetExceededError, ParseError, ReproError
 from repro.fdd import compare_firewalls
 from repro.guard import Budget, GuardContext
-from repro.policy import dumps, load, to_cisco_acl, to_iptables, to_table
+from repro.policy import (
+    dumps,
+    load,
+    to_cisco_acl,
+    to_iptables,
+    to_native,
+    to_nftables,
+    to_table,
+)
 
 __all__ = [
     "main",
@@ -85,6 +93,11 @@ EXIT_ERROR = 2
 EXIT_BUDGET_EXCEEDED = 3
 EXIT_APPROXIMATE = 4
 EXIT_DEGRADED = 5
+
+
+# The registered dialect names (stable: registration happens when
+# repro.policy is imported above).
+_DIALECTS = ("cisco", "iptables", "native", "nftables")
 
 
 def _add_guard_options(sub, *, fallback: bool = True) -> None:
@@ -345,16 +358,66 @@ def build_parser() -> argparse.ArgumentParser:
         dest="list_checks",
         help="print the check catalog (code, severity, summary) and exit",
     )
+    lint.add_argument(
+        "--dialect",
+        choices=_DIALECTS,
+        default=None,
+        help=(
+            "parse the policy as a device dump in this dialect; findings"
+            " then point at real lines in the dump (default: native)"
+        ),
+    )
+    lint.add_argument(
+        "--chain",
+        default=None,
+        help="chain to import for iptables/nftables dialects",
+    )
     _add_guard_options(lint, fallback=False)
 
     export = sub.add_parser("export", help="render in a device-style format")
     export.add_argument("policy")
     export.add_argument(
         "--format",
-        choices=("iptables", "cisco", "text"),
+        choices=("iptables", "cisco", "nftables", "native", "text"),
         default="text",
         dest="fmt",
     )
+
+    simplify = sub.add_parser(
+        "simplify",
+        help=(
+            "emit a provably equivalent policy with <= as many rules,"
+            " in any registered dialect"
+        ),
+    )
+    simplify.add_argument("policy", help="policy/dump file to simplify")
+    simplify.add_argument(
+        "--from",
+        dest="from_dialect",
+        choices=_DIALECTS,
+        default="native",
+        help="input dialect (default: native)",
+    )
+    simplify.add_argument(
+        "--to",
+        dest="to_dialect",
+        choices=_DIALECTS,
+        default="native",
+        help="output dialect (default: native)",
+    )
+    simplify.add_argument(
+        "--chain",
+        default=None,
+        help="chain to import for iptables/nftables inputs",
+    )
+    simplify.add_argument(
+        "--stats-json",
+        dest="stats_json",
+        default=None,
+        metavar="FILE",
+        help="also write the reduction summary as JSON to FILE",
+    )
+    _add_guard_options(simplify, fallback=False)
 
     show = sub.add_parser("show", help="pretty-print a policy as a table")
     show.add_argument("policy")
@@ -410,13 +473,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     audit.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        dest="cache_max_mb",
+        metavar="N",
+        help=(
+            "bound the result cache's objects/ store to ~N MiB with LRU"
+            " garbage collection (requires --cache-dir)"
+        ),
+    )
+    audit.add_argument(
         "--checks",
         default=None,
         metavar="SPEC",
         help=(
             "stages to run: 'all' (default), or comma-separated from"
-            " lint,compare,impact; 'lint=FW001+FW002' restricts the lint"
-            " checks"
+            " lint,simplify,compare,impact; 'lint=FW001+FW002' restricts"
+            " the lint checks"
         ),
     )
     audit.add_argument(
@@ -511,11 +585,21 @@ def build_parser() -> argparse.ArgumentParser:
         "import", help="convert a device config to the policy text format"
     )
     imp.add_argument("config")
-    imp.add_argument("--format", choices=("iptables", "cisco"), required=True, dest="fmt")
+    imp.add_argument(
+        "--format",
+        choices=("iptables", "cisco", "nftables"),
+        required=True,
+        dest="fmt",
+    )
+    imp.add_argument(
+        "--chain",
+        default=None,
+        help="chain to import for iptables/nftables dumps",
+    )
     imp.add_argument(
         "--schema-header",
         action="store_true",
-        help="emit a 'firewall ... schema=standard' header",
+        help="emit a self-describing 'firewall ... schema=...' header",
     )
     return parser
 
@@ -854,7 +938,7 @@ def _cmd_lint(args) -> int:
     if args.policy is None:
         print("error: a policy file is required (or pass --list-checks)", file=sys.stderr)
         return EXIT_ERROR
-    firewall = load(args.policy)
+    firewall = _load_dialect(args.policy, args.dialect, chain=args.chain)
     budget = _budget_from_args(args)
     guard = GuardContext(budget) if budget is not None else None
     report = run_lint(
@@ -879,15 +963,61 @@ def _cmd_lint(args) -> int:
     return EXIT_DISCREPANCIES if report.has_at_least(threshold) else EXIT_OK
 
 
+def _load_dialect(path: str, dialect: str | None, *, chain: str | None = None):
+    """Load a policy file, optionally parsing it as a device dialect."""
+    if dialect is None or dialect == "native":
+        return load(path)
+    from repro.policy import parse_policy
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_policy(text, dialect, chain=chain).to_firewall()
+
+
 def _cmd_export(args) -> int:
     firewall = load(args.policy)
     if args.fmt == "iptables":
         sys.stdout.write(to_iptables(firewall))
     elif args.fmt == "cisco":
         sys.stdout.write(to_cisco_acl(firewall))
+    elif args.fmt == "nftables":
+        sys.stdout.write(to_nftables(firewall))
+    elif args.fmt == "native":
+        sys.stdout.write(to_native(firewall))
     else:
         sys.stdout.write(dumps(firewall))
     return 0
+
+
+def _cmd_simplify(args) -> int:
+    from repro.simplify import simplify_text
+
+    with open(args.policy, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    budget = _budget_from_args(args)
+    guard = GuardContext(budget) if budget is not None else None
+    emitted, result = simplify_text(
+        text,
+        from_dialect=args.from_dialect,
+        to_dialect=args.to_dialect,
+        chain=args.chain,
+        guard=guard,
+    )
+    sys.stdout.write(emitted)
+    print(
+        f"# simplify: {result.rules_before} -> {result.rules_after} rule(s)"
+        f" ({result.removed_dead} dead, {result.removed_redundant} redundant,"
+        f" strategy={result.strategy});"
+        f" fingerprint {result.fingerprint[:16]} verified",
+        file=sys.stderr,
+    )
+    if args.stats_json is not None:
+        import json
+
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(result.summary(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return EXIT_OK
 
 
 def _cmd_show(args) -> int:
@@ -967,7 +1097,19 @@ def _cmd_audit_fleet(args) -> int:
         return EXIT_ERROR
     manifest = load_manifest(args.manifest, baseline=args.baseline)
     checkset = resolve_checkset(args.checks)
-    cache = ResultCache(args.cache_dir) if args.cache_dir is not None else None
+    if args.cache_max_mb is not None and args.cache_dir is None:
+        print("error: --cache-max-mb requires --cache-dir", file=sys.stderr)
+        return EXIT_ERROR
+    max_bytes = (
+        int(args.cache_max_mb * 1024 * 1024)
+        if args.cache_max_mb is not None
+        else None
+    )
+    cache = (
+        ResultCache(args.cache_dir, max_bytes=max_bytes)
+        if args.cache_dir is not None
+        else None
+    )
     writer_cls = {
         "text": TextAuditWriter,
         "json": JsonAuditWriter,
@@ -1008,6 +1150,7 @@ def _cmd_audit_fleet(args) -> int:
                 f"# cache totals: {stats['hits']} hit(s),"
                 f" {stats['misses']} miss(es), {stats['stores']} store(s),"
                 f" {stats['corrupt']} corrupt entr(ies) recomputed,"
+                f" {stats['evictions']} eviction(s),"
                 f" {report.stats.fdd_constructions} FDD construction(s)",
                 file=sys.stderr,
             )
@@ -1088,16 +1231,15 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_import(args) -> int:
-    from repro.policy import from_cisco_acl, from_iptables
+    from repro.policy import import_policy
 
     with open(args.config, "r", encoding="utf-8") as handle:
         text = handle.read()
-    firewall = (
-        from_iptables(text) if args.fmt == "iptables" else from_cisco_acl(text)
-    )
-    sys.stdout.write(
-        dumps(firewall, schema_key="standard" if args.schema_header else None)
-    )
+    firewall = import_policy(text, args.fmt, chain=args.chain)
+    if args.schema_header:
+        sys.stdout.write(to_native(firewall))
+    else:
+        sys.stdout.write(dumps(firewall))
     return 0
 
 
@@ -1111,6 +1253,7 @@ _COMMANDS = {
     "anomalies": _cmd_anomalies,
     "lint": _cmd_lint,
     "export": _cmd_export,
+    "simplify": _cmd_simplify,
     "show": _cmd_show,
     "fingerprint": _cmd_fingerprint,
     "slice": _cmd_slice,

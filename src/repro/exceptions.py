@@ -40,6 +40,16 @@ class PolicyError(ReproError):
     """A firewall policy (rule list) violated a structural requirement."""
 
 
+class SimplifyError(ReproError):
+    """Policy simplification failed its own equivalence verification.
+
+    Raised by :mod:`repro.simplify` when a candidate rule list's
+    canonical fingerprint does not match the input's (or the candidate
+    grew).  Always indicates a bug in the simplification pipeline — the
+    simplifier never returns an unverified policy.
+    """
+
+
 class NotComprehensiveError(PolicyError):
     """A rule sequence does not match every packet.
 
@@ -92,6 +102,11 @@ class ParseError(ReproError):
         super().__init__(message)
         #: One-based line number of the offending input line, if known.
         self.line = line
+
+    @property
+    def raw_message(self) -> str:
+        """The message without the ``line N:`` prefix (for re-wrapping)."""
+        return self._raw_message
 
     def __reduce__(self):
         return (type(self), (self._raw_message, self.line))

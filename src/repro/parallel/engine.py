@@ -725,6 +725,65 @@ def _execute_pair(task: _PairTask) -> PairComparison:
     )
 
 
+@dataclass(frozen=True)
+class _SnapshotPairTask:
+    """One (i, j) team pair resolved against published policy snapshots.
+
+    Carries two snapshot *ids*, never the diagrams: the pool publishes
+    each policy's constructed root exactly once per
+    :func:`compare_many` call and ships it to each worker at most once,
+    so the ``t * (t - 1) / 2`` pair tasks stay a few hundred bytes each
+    and no policy is re-pickled (or re-constructed) per pair.
+    """
+
+    index_a: int
+    index_b: int
+    snapshot_id_a: str
+    snapshot_id_b: str
+    budget: Budget | None
+    fault: FaultInjector | None
+
+    @property
+    def snapshot_ids(self) -> tuple[str, ...]:
+        return (self.snapshot_id_a, self.snapshot_id_b)
+
+
+def _execute_snapshot_pair(task: _SnapshotPairTask) -> PairComparison:
+    """Run one pair's product walk from the cached policy snapshots.
+
+    Same math as :func:`_execute_pair` minus the construction, which
+    the parent already did once per policy (its spend lands on the
+    parent guard, exactly like :func:`compare_sharded`'s construction
+    phase).  Both roots are interned into a *fresh* store per pair so
+    guard node-spend is a pure function of the pair — deterministic
+    across runs, schedules, and retries.
+    """
+    guard = None
+    if task.budget is not None or task.fault is not None:
+        guard = GuardContext(
+            task.budget if task.budget is not None else Budget.unlimited(),
+            fault=task.fault,
+        )
+    start = time.perf_counter()
+    schema, raw_a = _snapshot_payload(task.snapshot_id_a)
+    _schema_b, raw_b = _snapshot_payload(task.snapshot_id_b)
+    store = HashConsStore()
+    fdd_a = FDD(schema, store.intern(raw_a))
+    fdd_b = FDD(schema, store.intern(raw_b))
+    diff = build_difference(fdd_a, fdd_b, guard=guard, store=store)
+    by_decisions = diff.disputed_by_decisions()
+    return PairComparison(
+        index_a=task.index_a,
+        index_b=task.index_b,
+        disputed_packets=sum(by_decisions.values()),
+        by_decisions=by_decisions,
+        node_count=diff.node_count(),
+        path_count=diff.path_count(),
+        progress=guard.progress() if guard is not None else {},
+        elapsed_ms=(time.perf_counter() - start) * 1000.0,
+    )
+
+
 # ----------------------------------------------------------------------
 # Fan-out driver
 # ----------------------------------------------------------------------
@@ -1160,6 +1219,14 @@ def compare_many(
     :func:`compare_parallel` aggregates across shards.  Fan-out runs
     supervised by default; a pair whose worker dispatches all failed is
     re-run serially and returned with ``degraded=True``.
+
+    The pool path constructs each policy's diagram **once** in the
+    parent and publishes it as one snapshot per policy (``t``
+    publications, not one per pair): pair tasks carry two snapshot ids,
+    and each worker deserializes a policy at most once however many of
+    its pairs it executes.  Inline execution keeps the self-contained
+    per-pair construction (sharing buys nothing in-process and the
+    per-pair guard spend stays comparable to the worker path).
     """
     if len(firewalls) < 2:
         raise SchemaError("cross comparison needs at least two firewalls")
@@ -1169,44 +1236,25 @@ def compare_many(
             raise SchemaError("all versions must share one field schema")
     jobs = default_jobs() if jobs is None else max(1, jobs)
     parent = GuardContext(budget) if budget is not None else None
-    tasks = [
-        _PairTask(
-            index_a=i,
-            index_b=j,
-            fw_a=firewalls[i],
-            fw_b=firewalls[j],
-            budget=parent.remaining_budget() if parent is not None else None,
-            fault=fault,
-        )
+    pairs = [
+        (i, j)
         for i in range(len(firewalls))
         for j in range(i + 1, len(firewalls))
     ]
     run_inline = (jobs <= 1) if inline is None else inline
-    if not run_inline and len(tasks) > 1 and supervised:
-        results, pair_degradations, _failures = supervise(
-            _execute_pair,
-            tasks,
-            jobs=jobs,
-            config=supervision,
-            start_method=start_method,
-            guard=parent,
-            rebudget=_make_rebudget(parent),
-            on_result=_make_on_result(parent),
-        )
-        degraded_indices = {item.shard_index for item in pair_degradations}
-        results = [
-            replace(result, degraded=True) if index in degraded_indices else result
-            for index, result in enumerate(results)
+    if run_inline or len(pairs) <= 1:
+        tasks = [
+            _PairTask(
+                index_a=i,
+                index_b=j,
+                fw_a=firewalls[i],
+                fw_b=firewalls[j],
+                budget=parent.remaining_budget() if parent is not None else None,
+                fault=fault,
+            )
+            for i, j in pairs
         ]
-    else:
-        results = _run_fanout(
-            _execute_pair,
-            tasks,
-            jobs=jobs,
-            start_method=start_method,
-            inline=run_inline,
-            guard=parent,
-        )
+        results = [_execute_pair(task) for task in tasks]
         for result in results:
             if parent is not None and result.progress:
                 parent.tick_nodes(result.progress.get("nodes_expanded", 0))
@@ -1214,4 +1262,63 @@ def compare_many(
                 parent.tick_discrepancies(
                     result.progress.get("discrepancies_found", 0)
                 )
+        return {(result.index_a, result.index_b): result for result in results}
+
+    # Pool path: construct every version once, publish one snapshot per
+    # policy, and fan the pair matrix out as snapshot references.
+    pool = get_pool(start_method)
+    snapshot_ids: list[str] = []
+    try:
+        for fw in firewalls:
+            store = HashConsStore()
+            root = construct_fdd_fast(fw, store, guard=parent).root
+            snapshot_id = pool.publish_snapshot(
+                None, payload=pickle.dumps((schema, root))
+            )
+            _SNAPSHOT_PAYLOADS[snapshot_id] = (schema, root)
+            snapshot_ids.append(snapshot_id)
+        tasks = [
+            _SnapshotPairTask(
+                index_a=i,
+                index_b=j,
+                snapshot_id_a=snapshot_ids[i],
+                snapshot_id_b=snapshot_ids[j],
+                budget=parent.remaining_budget() if parent is not None else None,
+                fault=fault,
+            )
+            for i, j in pairs
+        ]
+        if supervised:
+            results, pair_degradations, _failures = supervise(
+                _execute_snapshot_pair,
+                tasks,
+                jobs=jobs,
+                config=supervision,
+                start_method=start_method,
+                guard=parent,
+                rebudget=_make_rebudget(parent),
+                on_result=_make_on_result(parent),
+                pool=pool,
+            )
+            degraded_indices = {item.shard_index for item in pair_degradations}
+            results = [
+                replace(result, degraded=True)
+                if index in degraded_indices
+                else result
+                for index, result in enumerate(results)
+            ]
+        else:
+            results = pool.run(
+                _execute_snapshot_pair, tasks, jobs=jobs, guard=parent
+            )
+            for result in results:
+                if parent is not None and result.progress:
+                    parent.tick_nodes(result.progress.get("nodes_expanded", 0))
+                    parent.tick_splits(result.progress.get("edges_split", 0))
+                    parent.tick_discrepancies(
+                        result.progress.get("discrepancies_found", 0)
+                    )
+    finally:
+        for snapshot_id in snapshot_ids:
+            pool.retire_snapshot(snapshot_id)
     return {(result.index_a, result.index_b): result for result in results}

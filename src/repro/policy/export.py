@@ -1,51 +1,86 @@
-"""Exporters to device-style configuration formats.
+"""Backends: canonical IR → device-style configuration dialects.
 
 "Most existing firewall devices take a sequence of rules as their
 configuration" (Section 6.1) — the final step of diverse design is
-deploying the agreed rule list on a real device.  This module renders a
-:class:`~repro.policy.firewall.Firewall` over the standard five-field
-schema in two widely recognized styles:
+deploying the agreed rule list on a real device.  Every backend here is
+driven off the canonical :class:`~repro.policy.ir.IRPolicy` (per-field
+interval sets, decision, provenance) and registered in the dialect
+registry (:mod:`repro.policy.frontends`), so dialect emission is one
+table — ``_BACKENDS`` at the bottom of this module — not a bespoke
+module per format:
 
-* :func:`to_iptables` — ``iptables``-restore style append commands;
-* :func:`to_cisco_acl` — Cisco extended-ACL style statements (with
-  wildcard masks).
+* ``iptables`` — ``iptables-restore`` style append commands (with
+  ``-m conntrack --ctstate`` for stateful-schema policies);
+* ``cisco``    — Cisco extended-ACL statements (wildcard masks);
+* ``nftables`` — ``nft`` ruleset text (``{ ... }`` sets carry
+  multi-interval matches on a single line, ``ct state`` carries the
+  stateful schema's state field);
+* ``native``   — the repo's own DSL via :mod:`repro.policy.serializer`.
 
-Both are best-effort textual renderings, not vendor-validated configs:
-they exist so resolved policies can be eyeballed in a familiar syntax
-and diffed against production exports.  Conjuncts a format cannot
-express natively (multi-interval sets, non-CIDR ranges) are expanded into
-several lines, preserving first-match semantics exactly — each expansion
-of one rule carries the same decision, so relative order within the
-expansion is irrelevant.
+The classic exporters are best-effort textual renderings, not
+vendor-validated configs.  Conjuncts a format cannot express natively
+(multi-interval sets, non-CIDR ranges) are expanded into several lines,
+preserving first-match semantics exactly — each expansion of one rule
+carries the same decision, so relative order within the expansion is
+irrelevant.  Round trip through the matching frontend preserves
+semantics exactly (property-tested in ``tests/policy``).
 """
 
 from __future__ import annotations
 
 from repro.addr import int_to_ip, intervalset_to_prefixes
 from repro.exceptions import PolicyError
-from repro.fields import FieldKind
+from repro.fields import FieldKind, interface_schema, standard_schema
 from repro.intervals import Interval, IntervalSet
 from repro.policy.firewall import Firewall
-from repro.policy.rule import Rule
+from repro.policy.frontends import register_backend
+from repro.policy.ir import IRPolicy, IRRule
 
-__all__ = ["to_iptables", "to_cisco_acl"]
+__all__ = ["to_iptables", "to_cisco_acl", "to_nftables", "to_native"]
+
+_STANDARD_KINDS = [
+    FieldKind.IP,
+    FieldKind.IP,
+    FieldKind.PORT,
+    FieldKind.PORT,
+    FieldKind.PROTOCOL,
+]
 
 
-def _require_standard_schema(firewall: Firewall, format_name: str) -> None:
-    kinds = [f.kind for f in firewall.schema]
-    expected = [
-        FieldKind.IP,
-        FieldKind.IP,
-        FieldKind.PORT,
-        FieldKind.PORT,
-        FieldKind.PROTOCOL,
-    ]
-    if kinds != expected:
+def _schema_offset(ir: IRPolicy, format_name: str, *, allow_state: bool) -> int:
+    """Field offset of the standard 5-tuple within the policy schema.
+
+    Returns 0 for the standard schema and 1 for the stateful schema
+    (state field first) when ``allow_state``; anything else is a
+    :class:`PolicyError`.
+    """
+    fields = ir.schema.fields
+    kinds = [f.kind for f in fields]
+    if kinds == _STANDARD_KINDS:
+        return 0
+    if (
+        len(fields) == 6
+        and fields[0].name == "state"
+        and kinds[1:] == _STANDARD_KINDS
+    ):
+        if allow_state:
+            return 1
         raise PolicyError(
-            f"{format_name} export requires the standard 5-field schema"
-            " (src_ip, dst_ip, src_port, dst_port, protocol);"
-            f" got fields {[f.name for f in firewall.schema]}"
+            f"{format_name} export cannot express connection state; "
+            "emit to iptables or nftables instead"
         )
+    raise PolicyError(
+        f"{format_name} export requires the standard 5-field schema"
+        " (src_ip, dst_ip, src_port, dst_port, protocol);"
+        f" got fields {[f.name for f in fields]}"
+    )
+
+
+def _is_match_all(rule: IRRule, ir: IRPolicy) -> bool:
+    return all(
+        values == field.domain_set
+        for values, field in zip(rule.matches, ir.schema.fields)
+    )
 
 
 def _port_atoms(values: IntervalSet, domain: IntervalSet) -> list[Interval | None]:
@@ -67,38 +102,38 @@ def _proto_atoms(values: IntervalSet, domain: IntervalSet) -> list[int | None]:
     return atoms
 
 
+def _state_token(values: IntervalSet, domain: IntervalSet) -> str | None:
+    """The conntrack keyword for a state match (``None``: unconstrained)."""
+    if values == domain:
+        return None
+    if values == IntervalSet.single(0):
+        return "NEW"
+    if values == IntervalSet.single(1):
+        return "ESTABLISHED"
+    raise PolicyError(f"inexpressible connection-state set {values}")
+
+
 # ----------------------------------------------------------------------
 # iptables
 # ----------------------------------------------------------------------
 
 
-def to_iptables(
-    firewall: Firewall,
-    *,
-    chain: str = "FORWARD",
-    table_header: bool = True,
+def _emit_iptables(
+    ir: IRPolicy, *, chain: str = "FORWARD", table_header: bool = True
 ) -> str:
-    """Render as iptables-restore style ``-A`` commands.
+    offset = _schema_offset(ir, "iptables", allow_state=True)
+    fields = ir.schema.fields
+    port_domain = fields[offset + 2].domain_set
+    proto_domain = fields[offset + 4].domain_set
+    state_domain = fields[0].domain_set if offset else None
 
-    The final catch-all rule (if any) becomes the chain policy; every
-    other rule becomes one or more ``-A <chain>`` lines (ports only
-    attach to TCP/UDP matches, mirroring iptables' own restriction: a
-    port-constrained rule whose protocol is unconstrained expands into a
-    TCP and a UDP line).
-
-    >>> from repro.synth import SyntheticFirewallGenerator
-    >>> text = to_iptables(SyntheticFirewallGenerator(seed=1).generate(5))
-    >>> text.startswith("*filter")
-    True
-    """
-    _require_standard_schema(firewall, "iptables")
-    schema = firewall.schema
-    port_domain = schema[2].domain_set
-    proto_domain = schema[4].domain_set
-
-    rules = list(firewall.rules)
+    rules = list(ir.rules)
     policy = "ACCEPT"
-    if rules and rules[-1].predicate.is_match_all():
+    if (
+        rules
+        and _is_match_all(rules[-1], ir)
+        and "+log" not in rules[-1].decision.name
+    ):
         policy = "ACCEPT" if rules[-1].decision.permits else "DROP"
         rules = rules[:-1]
 
@@ -107,25 +142,40 @@ def to_iptables(
         lines.append("*filter")
         lines.append(f":{chain} {policy} [0:0]")
     for rule in rules:
-        lines.extend(_iptables_rule_lines(rule, chain, port_domain, proto_domain))
+        lines.extend(
+            _iptables_rule_lines(
+                rule, chain, offset, port_domain, proto_domain, state_domain
+            )
+        )
     if table_header:
         lines.append("COMMIT")
     return "\n".join(lines) + "\n"
 
 
 def _iptables_rule_lines(
-    rule: Rule, chain: str, port_domain: IntervalSet, proto_domain: IntervalSet
+    rule: IRRule,
+    chain: str,
+    offset: int,
+    port_domain: IntervalSet,
+    proto_domain: IntervalSet,
+    state_domain: IntervalSet | None,
 ) -> list[str]:
-    sets = rule.predicate.sets
+    sets = rule.matches[offset:]
+    ip_domain = IntervalSet.span(0, (1 << 32) - 1)
     target = "ACCEPT" if rule.decision.permits else "DROP"
     log = "+log" in rule.decision.name
     comment = f' -m comment --comment "{rule.comment}"' if rule.comment else ""
+    state_match = ""
+    if state_domain is not None:
+        token = _state_token(rule.matches[0], state_domain)
+        if token is not None:
+            state_match = f" -m conntrack --ctstate {token}"
 
     src_prefixes = (
-        [None] if sets[0] == rule.schema[0].domain_set else intervalset_to_prefixes(sets[0])
+        [None] if sets[0] == ip_domain else intervalset_to_prefixes(sets[0])
     )
     dst_prefixes = (
-        [None] if sets[1] == rule.schema[1].domain_set else intervalset_to_prefixes(sets[1])
+        [None] if sets[1] == ip_domain else intervalset_to_prefixes(sets[1])
     )
     sports = _port_atoms(sets[2], port_domain)
     dports = _port_atoms(sets[3], port_domain)
@@ -160,10 +210,14 @@ def _iptables_rule_lines(
                                 parts.append(_port_match("--sport", sport))
                             if dport is not None:
                                 parts.append(_port_match("--dport", dport))
-                            suffix = comment
+                            suffix = state_match + comment
                             if log:
-                                lines.append(" ".join(parts) + suffix + " -j LOG")
-                            lines.append(" ".join(parts) + suffix + f" -j {target}")
+                                lines.append(
+                                    " ".join(parts) + suffix + " -j LOG"
+                                )
+                            lines.append(
+                                " ".join(parts) + suffix + f" -j {target}"
+                            )
     return lines
 
 
@@ -173,44 +227,60 @@ def _port_match(flag: str, interval: Interval) -> str:
     return f"{flag} {interval.lo}:{interval.hi}"
 
 
+def to_iptables(
+    firewall: Firewall,
+    *,
+    chain: str = "FORWARD",
+    table_header: bool = True,
+) -> str:
+    """Render as iptables-restore style ``-A`` commands.
+
+    The final catch-all rule (if any) becomes the chain policy; every
+    other rule becomes one or more ``-A <chain>`` lines (ports only
+    attach to TCP/UDP matches, mirroring iptables' own restriction: a
+    port-constrained rule whose protocol is unconstrained expands into a
+    TCP and a UDP line).  Stateful-schema policies emit
+    ``-m conntrack --ctstate`` matches for constrained state fields.
+
+    >>> from repro.synth import SyntheticFirewallGenerator
+    >>> text = to_iptables(SyntheticFirewallGenerator(seed=1).generate(5))
+    >>> text.startswith("*filter")
+    True
+    """
+    return _emit_iptables(
+        IRPolicy.from_firewall(firewall, dialect="iptables"),
+        chain=chain,
+        table_header=table_header,
+    )
+
+
 # ----------------------------------------------------------------------
 # Cisco extended ACL
 # ----------------------------------------------------------------------
 
 
-def to_cisco_acl(firewall: Firewall, *, name: str | None = None) -> str:
-    """Render as a Cisco extended named ACL.
-
-    Prefixes become address/wildcard-mask pairs; single hosts use
-    ``host``; the whole address space uses ``any``.  Port intervals
-    render as ``eq``/``range``.  Protocol ``any`` renders as ``ip``
-    (ports are then dropped from that line only if unconstrained;
-    otherwise the rule expands into tcp and udp lines, as on real
-    devices).
-
-    >>> from repro.synth import team_a_firewall  # doctest: +SKIP
-    """
-    _require_standard_schema(firewall, "Cisco ACL")
-    acl_name = name or (firewall.name.replace(" ", "_") or "FIREWALL")
+def _emit_cisco(ir: IRPolicy, *, name: str | None = None) -> str:
+    _schema_offset(ir, "Cisco ACL", allow_state=False)
+    acl_name = name or (ir.name.replace(" ", "_") or "FIREWALL")
     lines = [f"ip access-list extended {acl_name}"]
-    for rule in firewall.rules:
-        lines.extend(_cisco_rule_lines(rule))
+    for rule in ir.rules:
+        lines.extend(_cisco_rule_lines(rule, ir))
     return "\n".join(lines) + "\n"
 
 
-def _cisco_rule_lines(rule: Rule) -> list[str]:
-    sets = rule.predicate.sets
+def _cisco_rule_lines(rule: IRRule, ir: IRPolicy) -> list[str]:
+    sets = rule.matches
+    fields = ir.schema.fields
     action = "permit" if rule.decision.permits else "deny"
     log = " log" if "+log" in rule.decision.name else ""
     remark = [f" remark {rule.comment}"] if rule.comment else []
 
-    schema = rule.schema
-    srcs = _cisco_addr_atoms(sets[0], schema[0].domain_set)
-    dsts = _cisco_addr_atoms(sets[1], schema[1].domain_set)
-    sports = _port_atoms(sets[2], schema[2].domain_set)
-    dports = _port_atoms(sets[3], schema[3].domain_set)
+    srcs = _cisco_addr_atoms(sets[0], fields[0].domain_set)
+    dsts = _cisco_addr_atoms(sets[1], fields[1].domain_set)
+    sports = _port_atoms(sets[2], fields[2].domain_set)
+    dports = _port_atoms(sets[3], fields[3].domain_set)
     ports_constrained = sports != [None] or dports != [None]
-    protos = _proto_atoms(sets[4], schema[4].domain_set)
+    protos = _proto_atoms(sets[4], fields[4].domain_set)
 
     lines = list(remark)
     for proto in protos:
@@ -252,3 +322,209 @@ def _cisco_port(interval: Interval) -> str:
     if interval.is_single():
         return f"eq {interval.lo}"
     return f"range {interval.lo} {interval.hi}"
+
+
+def to_cisco_acl(firewall: Firewall, *, name: str | None = None) -> str:
+    """Render as a Cisco extended named ACL.
+
+    Prefixes become address/wildcard-mask pairs; single hosts use
+    ``host``; the whole address space uses ``any``.  Port intervals
+    render as ``eq``/``range``.  Protocol ``any`` renders as ``ip``
+    (ports are then dropped from that line only if unconstrained;
+    otherwise the rule expands into tcp and udp lines, as on real
+    devices).
+    """
+    return _emit_cisco(
+        IRPolicy.from_firewall(firewall, dialect="cisco"), name=name
+    )
+
+
+# ----------------------------------------------------------------------
+# nftables
+# ----------------------------------------------------------------------
+
+
+def _emit_nftables(
+    ir: IRPolicy, *, table: str = "inet filter", chain: str = "forward"
+) -> str:
+    offset = _schema_offset(ir, "nftables", allow_state=True)
+    state_domain = ir.schema.fields[0].domain_set if offset else None
+
+    rules = list(ir.rules)
+    policy = "accept"
+    if (
+        rules
+        and _is_match_all(rules[-1], ir)
+        and "+log" not in rules[-1].decision.name
+    ):
+        policy = "accept" if rules[-1].decision.permits else "drop"
+        rules = rules[:-1]
+
+    lines = [f"table {table} {{"]
+    lines.append(f"\tchain {chain} {{")
+    lines.append(
+        f"\t\ttype filter hook {chain} priority 0; policy {policy};"
+    )
+    for rule in rules:
+        lines.append("\t\t" + _nftables_rule_line(rule, offset, state_domain))
+    lines.append("\t}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _nftables_value_set(atoms: list[str]) -> str:
+    if len(atoms) == 1:
+        return atoms[0]
+    return "{ " + ", ".join(atoms) + " }"
+
+
+def _nftables_addr(values: IntervalSet) -> str:
+    atoms = []
+    for prefix in intervalset_to_prefixes(values):
+        if prefix.length == 32:
+            atoms.append(int_to_ip(prefix.network))
+        else:
+            atoms.append(f"{int_to_ip(prefix.network)}/{prefix.length}")
+    return _nftables_value_set(atoms)
+
+
+def _nftables_ports(values: IntervalSet) -> str:
+    atoms = []
+    for iv in values.intervals:
+        atoms.append(str(iv.lo) if iv.is_single() else f"{iv.lo}-{iv.hi}")
+    return _nftables_value_set(atoms)
+
+
+def _nftables_rule_line(
+    rule: IRRule, offset: int, state_domain: IntervalSet | None
+) -> str:
+    sets = rule.matches[offset:]
+    fields_domains = [
+        IntervalSet.span(0, (1 << 32) - 1),
+        IntervalSet.span(0, (1 << 32) - 1),
+        IntervalSet.span(0, 65535),
+        IntervalSet.span(0, 65535),
+        IntervalSet.span(0, 255),
+    ]
+    parts: list[str] = []
+
+    if state_domain is not None:
+        token = _state_token(rule.matches[0], state_domain)
+        if token is not None:
+            parts.append(f"ct state {token.lower()}")
+
+    if sets[0] != fields_domains[0]:
+        parts.append(f"ip saddr {_nftables_addr(sets[0])}")
+    if sets[1] != fields_domains[1]:
+        parts.append(f"ip daddr {_nftables_addr(sets[1])}")
+
+    proto = sets[4]
+    sport_constrained = sets[2] != fields_domains[2]
+    dport_constrained = sets[3] != fields_domains[3]
+    # tcp/udp single-protocol matches fold the protocol into the port
+    # selector; anything else keeps an explicit ip protocol match and
+    # generic th port selectors.
+    if proto == IntervalSet.single(6) and (sport_constrained or dport_constrained):
+        port_prefix = "tcp"
+        emit_proto = False
+    elif proto == IntervalSet.single(17) and (
+        sport_constrained or dport_constrained
+    ):
+        port_prefix = "udp"
+        emit_proto = False
+    else:
+        port_prefix = "th"
+        emit_proto = proto != fields_domains[4]
+    if emit_proto:
+        atoms = []
+        for iv in proto.intervals:
+            for number in range(iv.lo, iv.hi + 1):
+                atoms.append(_PROTO_NAMES.get(number, str(number)))
+        parts.append(f"ip protocol {_nftables_value_set(atoms)}")
+    if sport_constrained:
+        parts.append(f"{port_prefix} sport {_nftables_ports(sets[2])}")
+    if dport_constrained:
+        parts.append(f"{port_prefix} dport {_nftables_ports(sets[3])}")
+
+    if "+log" in rule.decision.name:
+        parts.append("log")
+    parts.append("accept" if rule.decision.permits else "drop")
+    if rule.comment:
+        escaped = rule.comment.replace('"', "'")
+        parts.append(f'comment "{escaped}"')
+    return " ".join(parts)
+
+
+def to_nftables(
+    firewall: Firewall, *, table: str = "inet filter", chain: str = "forward"
+) -> str:
+    """Render as an ``nft`` ruleset (one table, one base chain).
+
+    Multi-interval matches emit as ``{ ... }`` sets on a single line —
+    nftables is the one dialect that needs no cross-product expansion.
+    The final catch-all rule becomes the chain ``policy`` declaration;
+    stateful-schema policies emit ``ct state`` matches.
+
+    >>> from repro.synth import SyntheticFirewallGenerator
+    >>> text = to_nftables(SyntheticFirewallGenerator(seed=1).generate(5))
+    >>> text.startswith("table inet filter {")
+    True
+    """
+    return _emit_nftables(
+        IRPolicy.from_firewall(firewall, dialect="nftables"),
+        table=table,
+        chain=chain,
+    )
+
+
+# ----------------------------------------------------------------------
+# native
+# ----------------------------------------------------------------------
+
+
+def _native_schema_key(ir: IRPolicy) -> str | None:
+    if ir.schema == standard_schema():
+        return "standard"
+    if ir.schema == interface_schema():
+        return "interface"
+    from repro.stateful import stateful_schema
+
+    if ir.schema == stateful_schema():
+        return "stateful"
+    return None
+
+
+def _emit_native(ir: IRPolicy, *, schema_key: str | None = None) -> str:
+    from repro.policy.serializer import dumps
+
+    firewall = ir.to_firewall(require_comprehensive=False)
+    key = schema_key if schema_key is not None else _native_schema_key(ir)
+    return dumps(firewall, schema_key=key)
+
+
+def to_native(firewall: Firewall, *, schema_key: str | None = None) -> str:
+    """Render in the repo's own DSL with a self-describing header.
+
+    The schema header key is auto-detected for the standard, interface,
+    and stateful schemas; other schemas emit without a header (such
+    documents need an explicit schema to parse back).
+    """
+    return _emit_native(
+        IRPolicy.from_firewall(firewall, dialect="native"),
+        schema_key=schema_key,
+    )
+
+
+# ----------------------------------------------------------------------
+# The dialect emission table
+# ----------------------------------------------------------------------
+
+_BACKENDS: dict[str, tuple[object, str]] = {
+    "native": (_emit_native, "the repo's own policy DSL"),
+    "iptables": (_emit_iptables, "iptables-restore append commands"),
+    "cisco": (_emit_cisco, "Cisco extended ACL statements"),
+    "nftables": (_emit_nftables, "nft ruleset text"),
+}
+
+for _name, (_fn, _description) in _BACKENDS.items():
+    register_backend(_name, _fn, description=_description)  # type: ignore[arg-type]

@@ -1,57 +1,53 @@
 """Importers from device-style configuration formats.
 
 The diverse-design and change-impact workflows start from *existing*
-policies, which live in device syntax.  This module parses the common
-subsets of two formats into :class:`~repro.policy.firewall.Firewall`
-objects over the standard five-field schema:
+policies, which live in device syntax.  Parsing itself lives in the
+dialect frontends (:mod:`repro.policy.frontends`), which lower every
+format into the canonical IR (:mod:`repro.policy.ir`); this module keeps
+the classic one-call importers that return a ready
+:class:`~repro.policy.firewall.Firewall`:
 
-* :func:`from_iptables` — ``iptables-save`` style ``-A`` lines (filter
-  table): ``-s/-d/-p/--sport/--dport/-j`` and ``-m comment --comment``;
-* :func:`from_cisco_acl` — Cisco extended-ACL statements: ``permit`` /
-  ``deny``, ``host`` / ``any`` / address+wildcard-mask, ``eq`` /
-  ``range`` ports, ``remark``.
+* :func:`from_iptables` — ``iptables-save`` dumps (``!`` negation,
+  ``-m multiport``, ``-m conntrack --ctstate``);
+* :func:`from_cisco_acl` — Cisco extended-ACL statements;
+* :func:`from_nftables` — ``nft list ruleset`` dumps;
+* :func:`import_policy` — any registered dialect by name.
 
-Both importers are deliberately strict: an unrecognized token raises
-:class:`~repro.exceptions.ParseError` naming the line, rather than
-silently producing a different policy — a wrong import would poison
-every downstream comparison.  Round trip with
+All importers are deliberately strict: an unrecognized token raises
+:class:`~repro.exceptions.ParseError` naming the dialect and the
+original dump line, rather than silently producing a different policy —
+a wrong import would poison every downstream comparison.  Every parsed
+rule carries ``source_line`` provenance, so ``repro lint`` findings on
+imported policies point at real lines in the dump.  Round trip with
 :mod:`repro.policy.export` is property-tested (export -> import
 preserves semantics exactly).
 """
 
 from __future__ import annotations
 
-import shlex
-
-from repro.addr import ascii_digits, ip_to_int, parse_prefix
-from repro.exceptions import ParseError
-from repro.fields import FieldSchema, standard_schema
-from repro.intervals import Interval, IntervalSet
-from repro.policy.decision import ACCEPT, ACCEPT_LOG, DISCARD, Decision
+from repro.fields import FieldSchema
 from repro.policy.firewall import Firewall
-from repro.policy.predicate import Predicate
-from repro.policy.rule import Rule
+from repro.policy.frontends import parse_policy
 
-__all__ = ["from_iptables", "from_cisco_acl"]
-
-_PROTO_NUMBERS = {"icmp": 1, "tcp": 6, "udp": 17, "ip": None, "all": None}
-
-
-def _interval_set_from_port_token(token: str, line: int) -> IntervalSet:
-    if ":" in token:
-        lo_text, _, hi_text = token.partition(":")
-        try:
-            return IntervalSet.span(int(lo_text), int(hi_text))
-        except ValueError:
-            raise ParseError(f"bad port range {token!r}", line) from None
-    if not ascii_digits(token):
-        raise ParseError(f"bad port {token!r}", line)
-    return IntervalSet.single(int(token))
+__all__ = [
+    "from_iptables",
+    "from_cisco_acl",
+    "from_nftables",
+    "import_policy",
+]
 
 
-# ----------------------------------------------------------------------
-# iptables
-# ----------------------------------------------------------------------
+def import_policy(
+    text: str,
+    dialect: str,
+    *,
+    schema: FieldSchema | None = None,
+    name: str = "",
+    chain: str | None = None,
+) -> Firewall:
+    """Parse ``text`` in any registered dialect into a firewall."""
+    ir = parse_policy(text, dialect, schema=schema, name=name, chain=chain)
+    return ir.to_firewall()
 
 
 def from_iptables(
@@ -66,8 +62,11 @@ def from_iptables(
     The chain's policy line (``:FORWARD DROP [0:0]``) supplies the final
     catch-all; without one the default is ACCEPT (iptables' own default).
     ``-j LOG`` lines are folded into the next matching terminal rule's
-    ``accept+log`` decision when they share a predicate, mirroring how
-    :func:`repro.policy.export.to_iptables` emits logging.
+    logging decision when they share a predicate, mirroring how
+    :func:`repro.policy.export.to_iptables` emits logging.  ``!``
+    negation, ``-m multiport`` port lists, and ``-m conntrack
+    --ctstate`` (which upgrades the policy onto the stateful schema) are
+    handled by the frontend.
 
     >>> text = '''
     ... *filter
@@ -79,99 +78,9 @@ def from_iptables(
     >>> len(fw), str(fw.rules[-1].decision)
     (2, 'discard')
     """
-    schema = schema or standard_schema()
-    policy_decision: Decision = ACCEPT
-    rules: list[Rule] = []
-    pending_log: Predicate | None = None
-
-    for line_no, raw in enumerate(text.splitlines(), start=1):
-        stripped = raw.strip()
-        if not stripped or stripped.startswith("#"):
-            continue
-        if stripped in ("*filter", "COMMIT") or stripped.startswith("*"):
-            continue
-        if stripped.startswith(":"):
-            parts = stripped[1:].split()
-            if parts and parts[0] == chain and len(parts) >= 2:
-                policy_decision = ACCEPT if parts[1] == "ACCEPT" else DISCARD
-            continue
-        if not stripped.startswith("-A"):
-            raise ParseError(f"unsupported iptables line {stripped!r}", line_no)
-        tokens = shlex.split(stripped)
-        if len(tokens) < 2 or tokens[0] != "-A":
-            raise ParseError(f"malformed append {stripped!r}", line_no)
-        if tokens[1] != chain:
-            continue  # other chains are out of scope
-        predicate, target, comment = _parse_iptables_tokens(
-            tokens[2:], schema, line_no
-        )
-        if target == "LOG":
-            pending_log = predicate
-            continue
-        decision = ACCEPT if target == "ACCEPT" else DISCARD
-        if pending_log is not None and pending_log == predicate and decision.permits:
-            decision = ACCEPT_LOG
-        pending_log = None
-        rules.append(Rule(predicate, decision, comment))
-
-    rules.append(Rule(Predicate.match_all(schema), policy_decision, "chain policy"))
-    return Firewall(schema, rules, name=name or f"iptables-{chain}")
-
-
-def _parse_iptables_tokens(
-    tokens: list[str], schema: FieldSchema, line: int
-) -> tuple[Predicate, str, str]:
-    sets: dict[str, IntervalSet] = {}
-    target = ""
-    comment = ""
-    i = 0
-
-    def take() -> str:
-        nonlocal i
-        if i >= len(tokens):
-            raise ParseError("truncated iptables rule", line)
-        value = tokens[i]
-        i += 1
-        return value
-
-    while i < len(tokens):
-        flag = take()
-        if flag in ("-s", "--source"):
-            sets["src_ip"] = IntervalSet([parse_prefix(take()).to_interval()])
-        elif flag in ("-d", "--destination"):
-            sets["dst_ip"] = IntervalSet([parse_prefix(take()).to_interval()])
-        elif flag in ("-p", "--protocol"):
-            proto = take().lower()
-            if proto not in _PROTO_NUMBERS:
-                raise ParseError(f"unsupported protocol {proto!r}", line)
-            number = _PROTO_NUMBERS[proto]
-            if number is not None:
-                sets["protocol"] = IntervalSet.single(number)
-        elif flag == "--sport":
-            sets["src_port"] = _interval_set_from_port_token(take(), line)
-        elif flag == "--dport":
-            sets["dst_port"] = _interval_set_from_port_token(take(), line)
-        elif flag == "-j":
-            target = take()
-            if target not in ("ACCEPT", "DROP", "REJECT", "LOG"):
-                raise ParseError(f"unsupported target {target!r}", line)
-        elif flag == "-m":
-            module = take()
-            if module != "comment":
-                raise ParseError(f"unsupported match module {module!r}", line)
-        elif flag == "--comment":
-            comment = take()
-        else:
-            raise ParseError(f"unsupported iptables flag {flag!r}", line)
-    if not target:
-        raise ParseError("iptables rule has no -j target", line)
-    predicate = Predicate.from_fields(schema, **sets)
-    return predicate, target, comment
-
-
-# ----------------------------------------------------------------------
-# Cisco extended ACL
-# ----------------------------------------------------------------------
+    return import_policy(
+        text, "iptables", schema=schema, name=name, chain=chain
+    )
 
 
 def from_cisco_acl(
@@ -192,116 +101,32 @@ def from_cisco_acl(
     >>> len(fw)  # 3 statements + implicit deny
     4
     """
-    schema = schema or standard_schema()
-    rules: list[Rule] = []
-    acl_name = ""
-    pending_remark = ""
-
-    for line_no, raw in enumerate(text.splitlines(), start=1):
-        stripped = raw.strip()
-        if not stripped or stripped.startswith("!"):
-            continue
-        if stripped.startswith("ip access-list"):
-            acl_name = stripped.split()[-1]
-            continue
-        tokens = stripped.split()
-        if tokens[0] == "remark":
-            pending_remark = " ".join(tokens[1:])
-            continue
-        if tokens[0] not in ("permit", "deny"):
-            raise ParseError(f"unsupported ACL line {stripped!r}", line_no)
-        rule = _parse_cisco_statement(tokens, schema, line_no, pending_remark)
-        pending_remark = ""
-        rules.append(rule)
-
-    rules.append(
-        Rule(Predicate.match_all(schema), DISCARD, "implicit deny ip any any")
-    )
-    return Firewall(schema, rules, name=name or acl_name or "cisco-acl")
+    return import_policy(text, "cisco", schema=schema, name=name)
 
 
-def _parse_cisco_statement(
-    tokens: list[str], schema: FieldSchema, line: int, remark: str
-) -> Rule:
-    i = 0
+def from_nftables(
+    text: str,
+    *,
+    chain: str | None = None,
+    schema: FieldSchema | None = None,
+    name: str = "",
+) -> Firewall:
+    """Parse an ``nft list ruleset`` style dump into a firewall.
 
-    def take() -> str:
-        nonlocal i
-        if i >= len(tokens):
-            raise ParseError("truncated ACL statement", line)
-        value = tokens[i]
-        i += 1
-        return value
+    The base chain's ``policy`` declaration supplies the final
+    catch-all.  ``chain`` selects among multiple chains; by default the
+    single (or single hooked) chain is used.
 
-    def peek() -> str | None:
-        return tokens[i] if i < len(tokens) else None
-
-    action = take()
-    log = False
-    proto_text = take().lower()
-    sets: dict[str, IntervalSet] = {}
-    if proto_text not in _PROTO_NUMBERS and not ascii_digits(proto_text):
-        raise ParseError(f"unsupported protocol {proto_text!r}", line)
-    if ascii_digits(proto_text):
-        sets["protocol"] = IntervalSet.single(int(proto_text))
-    elif _PROTO_NUMBERS[proto_text] is not None:
-        sets["protocol"] = IntervalSet.single(_PROTO_NUMBERS[proto_text])
-
-    def take_address() -> IntervalSet | None:
-        token = take()
-        if token == "any":
-            return None
-        if token == "host":
-            return IntervalSet.single(ip_to_int(take()))
-        base = ip_to_int(token)
-        wildcard = ip_to_int(take())
-        # Contiguous wildcard masks map to intervals; others are rare and
-        # unsupported (strictness beats silent misparse).
-        size = wildcard + 1
-        if size & (size - 1):
-            raise ParseError(
-                f"non-contiguous wildcard mask {token}", line
-            )
-        if base & wildcard:
-            raise ParseError(f"address {token} has bits inside the wildcard", line)
-        return IntervalSet.span(base, base + wildcard)
-
-    def take_ports() -> IntervalSet | None:
-        token = peek()
-        if token == "eq":
-            take()
-            return IntervalSet.single(int(take()))
-        if token == "range":
-            take()
-            lo = int(take())
-            hi = int(take())
-            return IntervalSet([Interval(lo, hi)])
-        return None
-
-    src = take_address()
-    if src is not None:
-        sets["src_ip"] = src
-    sport = take_ports()
-    if sport is not None:
-        sets["src_port"] = sport
-    dst = take_address()
-    if dst is not None:
-        sets["dst_ip"] = dst
-    dport = take_ports()
-    if dport is not None:
-        sets["dst_port"] = dport
-    while (token := peek()) is not None:
-        if token == "log":
-            take()
-            log = True
-        else:
-            raise ParseError(f"unsupported ACL token {token!r}", line)
-
-    predicate = Predicate.from_fields(schema, **sets)
-    if action == "permit":
-        decision = ACCEPT_LOG if log else ACCEPT
-    else:
-        from repro.policy.decision import DISCARD_LOG
-
-        decision = DISCARD_LOG if log else DISCARD
-    return Rule(predicate, decision, remark)
+    >>> text = '''
+    ... table inet filter {
+    ...     chain forward {
+    ...         type filter hook forward priority 0; policy drop;
+    ...         ip saddr 10.0.0.0/8 accept
+    ...     }
+    ... }
+    ... '''
+    >>> fw = from_nftables(text)
+    >>> len(fw), str(fw.rules[-1].decision)
+    (2, 'discard')
+    """
+    return import_policy(text, "nftables", schema=schema, name=name, chain=chain)

@@ -34,9 +34,18 @@ from repro.policy.rule import Rule
 
 __all__ = ["parse_rule", "parse_firewall", "loads", "load"]
 
+def _stateful_schema() -> FieldSchema:
+    # Imported lazily: repro.stateful builds on repro.policy, so a
+    # module-level import here would be a cycle.
+    from repro.stateful import stateful_schema
+
+    return stateful_schema()
+
+
 _SCHEMAS = {
     "standard": standard_schema,
     "interface": interface_schema,
+    "stateful": _stateful_schema,
 }
 
 

@@ -110,6 +110,12 @@ class Rule:
             self._predicate, self._decision, comment, source_line=self._source_line
         )
 
+    def with_source_line(self, source_line: int | None) -> "Rule":
+        """A copy of this rule with different source-line provenance."""
+        return Rule(
+            self._predicate, self._decision, self._comment, source_line=source_line
+        )
+
     # ------------------------------------------------------------------
     # Value semantics / presentation
     # ------------------------------------------------------------------

@@ -176,3 +176,74 @@ class TestFingerprintMemo:
         dst.write_text(src.read_text())
         assert cache.fingerprint_get(digest_b) is None
         assert cache.corrupt == 1
+
+
+class TestSizeBounds:
+    """LRU size bounds: ``max_bytes`` caps ``objects/``, hits refresh."""
+
+    def _sized_cache(self, tmp_path: Path, max_bytes: int) -> ResultCache:
+        return ResultCache(tmp_path / "bounded", max_bytes=max_bytes)
+
+    @staticmethod
+    def _entry_size(cache: ResultCache, key: str) -> int:
+        return cache._object_path(key).stat().st_size
+
+    def test_rejects_non_positive_bound(self, tmp_path: Path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "c", max_bytes=0)
+
+    def test_unbounded_cache_never_evicts(self, cache: ResultCache):
+        for i in range(20):
+            put_one(cache, f"{i:064d}")
+        assert cache.evictions == 0
+        assert cache.entry_count() == 20
+
+    def test_evicts_oldest_first_until_under_bound(self, tmp_path: Path):
+        import time
+
+        probe = self._sized_cache(tmp_path, max_bytes=10**9)
+        put_one(probe, "0" * 64)
+        size = self._entry_size(probe, "0" * 64)
+        # Room for exactly three entries.
+        cache = ResultCache(tmp_path / "lru", max_bytes=size * 3)
+        keys = [f"{i:064d}" for i in range(5)]
+        for key in keys:
+            put_one(cache, key)
+            time.sleep(0.01)
+        assert cache.evictions == 2
+        assert cache.get(keys[0]) is None and cache.get(keys[1]) is None
+        for key in keys[2:]:
+            assert cache.get(key) is not None
+
+    def test_hit_refreshes_recency(self, tmp_path: Path):
+        import time
+
+        probe = self._sized_cache(tmp_path, max_bytes=10**9)
+        put_one(probe, "0" * 64)
+        size = self._entry_size(probe, "0" * 64)
+        cache = ResultCache(tmp_path / "lru", max_bytes=size * 3)
+        keys = [f"{i:064d}" for i in range(3)]
+        for key in keys:
+            put_one(cache, key)
+            time.sleep(0.01)
+        # Touch the oldest: the *second* oldest must be evicted next.
+        assert cache.get(keys[0]) is not None
+        time.sleep(0.01)
+        put_one(cache, "f" * 64)
+        assert cache.evictions == 1
+        assert cache.get(keys[0]) is not None, "touched entry was evicted"
+        assert cache.get(keys[1]) is None, "cold entry survived"
+
+    def test_fingerprint_memo_is_never_evicted(self, tmp_path: Path):
+        cache = ResultCache(tmp_path / "lru", max_bytes=1)
+        digest = ResultCache.source_digest(b"policy")
+        cache.fingerprint_put(digest, "cafe")
+        put_one(cache, "a" * 64)  # evicts itself (bound is 1 byte)
+        assert cache.evictions == 1
+        assert cache.entry_count() == 0
+        assert cache.fingerprint_get(digest) == "cafe"
+
+    def test_evictions_surface_in_stats(self, tmp_path: Path):
+        cache = ResultCache(tmp_path / "lru", max_bytes=1)
+        put_one(cache, "a" * 64)
+        assert cache.stats()["evictions"] == 1

@@ -15,7 +15,7 @@ from repro.lint import all_checks
 
 
 class TestResolve:
-    @pytest.mark.parametrize("spec", [None, "all", "", "lint,compare,impact"])
+    @pytest.mark.parametrize("spec", [None, "all", "", "lint,simplify,compare,impact"])
     def test_default_enables_everything(self, spec):
         checkset = resolve_checkset(spec)
         assert checkset.stages == STAGES

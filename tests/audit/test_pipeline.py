@@ -43,12 +43,35 @@ class TestColdRun:
             "team-a/edge.fw",
         ]
 
-    def test_without_baseline_lints_only(self, fleet):
+    def test_without_baseline_runs_baseline_free_stages_only(self, fleet):
         report = audit_fleet(load_manifest(fleet))
         for result in report.results:
             assert "lint" in result.stages
+            assert "simplify" in result.stages
             assert "compare" not in result.stages
             assert result.baseline_path is None
+
+    def test_simplify_stage_payload(self, fleet, baseline):
+        report = audit_fleet(load_manifest(fleet, baseline=str(baseline)))
+        for result in report.results:
+            payload = result.stages["simplify"]
+            assert payload["rules_after"] <= payload["rules_before"]
+            assert payload["strategy"] in ("slim", "regenerate")
+            # The simplify stage's fingerprint is the policy's own
+            # semantic fingerprint (equivalence is verified in-stage).
+            assert payload["fingerprint"] == result.fingerprint
+
+    def test_simplify_stage_caches_on_source_digest(self, fleet, baseline, tmp_path):
+        manifest = load_manifest(fleet, baseline=str(baseline))
+        checkset = resolve_checkset("simplify")
+        audit_fleet(manifest, checkset=checkset, cache=ResultCache(tmp_path / "c"))
+        warm = audit_fleet(
+            manifest, checkset=checkset, cache=ResultCache(tmp_path / "c")
+        )
+        assert warm.stats.fully_cached == warm.stats.policies
+        assert warm.stats.fdd_constructions == 0
+        for result in warm.results:
+            assert result.cached == {"simplify": True}
 
     def test_on_result_streams_every_policy(self, fleet, baseline):
         seen = []
@@ -85,9 +108,9 @@ class TestCacheTiers:
         manifest = load_manifest(fleet, baseline=str(baseline))
         audit_fleet(manifest, cache=ResultCache(tmp_path / "c"))
         # Reformat core.fw without changing semantics: the source digest
-        # changes, so lint (syntactic: line numbers, rule hints)
-        # recomputes, but the fingerprint resolves compare/impact to
-        # their existing entries -- one FDD construction total.
+        # changes, so the syntactic stages (lint, simplify) recompute,
+        # but the fingerprint resolves compare/impact to their existing
+        # entries -- one FDD construction total.
         (fleet / "core.fw").write_text(
             POLICY_CLEAN.replace("any -> accept", "any   ->   accept  # same")
         )
@@ -95,8 +118,13 @@ class TestCacheTiers:
         assert warm.cache_stats["hits"] > 0
         result = next(r for r in warm.results if r.name == "core.fw")
         assert result.status == "ok"
-        assert result.stages.keys() == {"lint", "compare", "impact"}
-        assert result.cached == {"lint": False, "compare": True, "impact": True}
+        assert result.stages.keys() == {"lint", "simplify", "compare", "impact"}
+        assert result.cached == {
+            "lint": False,
+            "simplify": False,
+            "compare": True,
+            "impact": True,
+        }
 
     def test_equivalent_policies_do_not_share_lint_results(self, tmp_path):
         # Two semantically equivalent but textually different policies

@@ -106,7 +106,12 @@ class TestJson:
         assert document["tool"]["name"] == "repro-audit"
         assert len(document["policies"]) == 2
         assert document["summary"]["policies"] == 2
-        assert document["checkset"]["stages"] == ["lint", "compare", "impact"]
+        assert document["checkset"]["stages"] == [
+            "lint",
+            "simplify",
+            "compare",
+            "impact",
+        ]
         policy = next(
             p for p in document["policies"] if p["name"] == "team-a/edge.fw"
         )

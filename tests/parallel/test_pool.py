@@ -62,6 +62,33 @@ class TestPoolReuse:
             k: v.disputed_packets for k, v in second.items()
         }
 
+    def test_compare_many_publishes_one_snapshot_per_policy(self):
+        # The pair matrix must share policy snapshots: t publications
+        # for t team versions, never one per pair (t choose 2) and never
+        # a per-pair re-publish.
+        team = [make_firewall(80 + i, 6) for i in range(4)]
+        pairs = len(team) * (len(team) - 1) // 2
+        results = compare_many(team, jobs=2, inline=False, start_method="fork")
+        assert len(results) == pairs
+        stats = get_pool("fork").stats()
+        assert stats["snapshots_published"] == len(team), (
+            f"expected one snapshot per policy ({len(team)}), got "
+            f"{stats['snapshots_published']} — the pair matrix is "
+            "re-publishing per pair"
+        )
+        # All retired afterwards: nothing leaks across calls.
+        assert not _SNAPSHOT_DATA
+        assert not _SNAPSHOT_OBJECTS
+        assert not get_pool("fork")._segments
+        # And the shared-snapshot numbers are the serial engine's.
+        from repro.fdd.fast import compare_fast
+
+        for (i, j), pc in results.items():
+            assert (
+                pc.disputed_packets
+                == compare_fast(team[i], team[j]).disputed_packet_count()
+            )
+
     def test_spawn_pool_parity_and_reuse(self):
         # Spawn re-imports everything worker-side: proves snapshot
         # payloads and tasks survive a cold interpreter, not just fork

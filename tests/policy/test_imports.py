@@ -160,3 +160,40 @@ class TestRoundTripProperty:
     def test_cisco_round_trip(self, seed):
         original = SyntheticFirewallGenerator(seed=seed).generate(15)
         assert equivalent(original, from_cisco_acl(to_cisco_acl(original)))
+
+
+class TestFromNftables:
+    TEXT = """\
+table inet filter {
+	chain forward {
+		type filter hook forward priority 0; policy drop;
+		ip saddr 10.0.0.0/8 tcp dport 22 accept comment "ssh"
+		ip protocol udp udp dport 53 accept
+	}
+}
+"""
+
+    def test_parses_rules_and_policy(self):
+        from repro.policy import from_nftables
+
+        fw = from_nftables(self.TEXT)
+        assert len(fw) == 3  # 2 rules + chain policy catch-all
+        assert fw.rules[-1].decision == DISCARD
+        assert fw.rules[0].comment == "ssh"
+
+    def test_semantics(self):
+        from repro.addr import ip_to_int
+        from repro.policy import from_nftables
+
+        fw = from_nftables(self.TEXT)
+        inside = ip_to_int("10.1.2.3")
+        assert fw((inside, 1, 40000, 22, 6)) == ACCEPT
+        assert fw((ip_to_int("11.0.0.1"), 1, 40000, 22, 6)) == DISCARD
+        assert fw((1, 2, 40000, 53, 17)) == ACCEPT
+
+    @pytest.mark.parametrize("seed", [91, 92, 93, 94])
+    def test_nftables_round_trip(self, seed):
+        from repro.policy import from_nftables, to_nftables
+
+        original = SyntheticFirewallGenerator(seed=seed).generate(15)
+        assert equivalent(original, from_nftables(to_nftables(original)))

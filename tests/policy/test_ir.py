@@ -1,0 +1,103 @@
+"""Tests for the canonical policy IR (:mod:`repro.policy.ir`)."""
+
+import pytest
+
+from repro.exceptions import PolicyError, SchemaError
+from repro.fields import standard_schema
+from repro.intervals import IntervalSet
+from repro.policy import ACCEPT, DISCARD, Firewall, Rule
+from repro.policy.ir import IRPolicy, IRRule, negate_match
+
+SCHEMA = standard_schema()
+
+
+class TestNegateMatch:
+    def test_complement_within_domain(self):
+        field = SCHEMA[SCHEMA.index_of("dst_port")]
+        values = IntervalSet.span(0, 1023)
+        negated = negate_match(values, field)
+        assert negated == IntervalSet.span(1024, 65535)
+
+    def test_double_negation_is_identity(self):
+        field = SCHEMA[SCHEMA.index_of("src_ip")]
+        values = IntervalSet.of((10, 20), (40, 50))
+        assert negate_match(negate_match(values, field), field) == values
+
+    def test_negating_full_domain_raises(self):
+        field = SCHEMA[SCHEMA.index_of("protocol")]
+        with pytest.raises(PolicyError):
+            negate_match(field.domain_set, field)
+
+
+class TestIRRule:
+    def test_from_fields_fills_unnamed_fields_with_domain(self):
+        rule = IRRule.from_fields(
+            SCHEMA, {"dst_port": IntervalSet.single(25)}, ACCEPT
+        )
+        assert rule.matches[SCHEMA.index_of("dst_port")] == IntervalSet.single(25)
+        for name in ("src_ip", "dst_ip", "src_port", "protocol"):
+            index = SCHEMA.index_of(name)
+            assert rule.matches[index] == SCHEMA[index].domain_set
+
+    def test_from_fields_rejects_unknown_field(self):
+        with pytest.raises(SchemaError):
+            IRRule.from_fields(SCHEMA, {"nope": IntervalSet.single(1)}, ACCEPT)
+
+    def test_provenance_survives_to_rule(self):
+        ir_rule = IRRule.from_fields(
+            SCHEMA,
+            {"protocol": IntervalSet.single(6)},
+            ACCEPT,
+            comment="tcp only",
+            source_line=17,
+        )
+        rule = ir_rule.to_rule(SCHEMA)
+        assert rule.comment == "tcp only"
+        assert rule.source_line == 17
+        assert rule.decision == ACCEPT
+
+
+class TestIRPolicy:
+    def _policy(self):
+        return IRPolicy(
+            schema=SCHEMA,
+            rules=(
+                IRRule.from_fields(
+                    SCHEMA, {"dst_port": IntervalSet.single(22)}, ACCEPT,
+                    source_line=3,
+                ),
+                IRRule.from_fields(SCHEMA, {}, DISCARD, source_line=4),
+            ),
+            name="demo",
+            dialect="native",
+        )
+
+    def test_match_width_validated(self):
+        bad = IRRule(matches=(IntervalSet.single(1),), decision=ACCEPT)
+        with pytest.raises(SchemaError):
+            IRPolicy(schema=SCHEMA, rules=(bad,))
+
+    def test_to_firewall_preserves_provenance(self):
+        fw = self._policy().to_firewall()
+        assert isinstance(fw, Firewall)
+        assert [r.source_line for r in fw.rules] == [3, 4]
+        assert fw.name == "demo"
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            IRPolicy(schema=SCHEMA, rules=()).to_firewall()
+
+    def test_from_firewall_round_trip(self):
+        fw = Firewall(
+            SCHEMA,
+            [
+                Rule.build(SCHEMA, ACCEPT, dst_port=(0, 1023), comment="low"),
+                Rule.build(SCHEMA, DISCARD),
+            ],
+            name="rt",
+        )
+        ir = IRPolicy.from_firewall(fw, dialect="native")
+        assert ir.dialect == "native"
+        back = ir.to_firewall()
+        assert list(back.rules) == list(fw.rules)
+        assert back.rules[0].comment == "low"
